@@ -1,0 +1,128 @@
+"""RPC: blocking transaction cost, LOCATE economics, restrict round-trips.
+
+Regenerates the §2.1/§2.2 communication model as measurements, including
+the §2.3 message-count comparison: restricting via the server costs one
+full round-trip (2 frames); the commutative scheme's client-side restrict
+costs 0 frames and no server time at all.
+"""
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.core.schemes import CommutativeScheme
+from repro.crypto.randomsrc import RandomSource
+from repro.ipc.client import ServiceClient
+from repro.ipc.locate import Locator, install_locate_responder
+from repro.ipc.rpc import trans
+from repro.ipc.server import ObjectServer, command
+from repro.ipc.stdops import USER_BASE
+from repro.net.message import Message
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+
+
+class Echo(ObjectServer):
+    service_name = "echo"
+
+    @command(USER_BASE)
+    def _echo(self, ctx):
+        return ctx.ok(data=ctx.request.data)
+
+
+@pytest.fixture
+def world():
+    net = SimNetwork()
+    server_nic = Nic(net)
+    install_locate_responder(server_nic)
+    server = Echo(server_nic, rng=RandomSource(seed=1)).start()
+    client_nic = Nic(net)
+    return net, server, client_nic
+
+
+class TestRoundTrip:
+    def test_trans_round_trip(self, benchmark, world):
+        _, server, client_nic = world
+        rng = RandomSource(seed=2)
+        reply = benchmark(
+            trans, client_nic, server.put_port,
+            Message(command=USER_BASE, data=b"payload"), rng,
+        )
+        assert reply.data == b"payload"
+
+    def test_trans_with_signature_check(self, benchmark, world):
+        _, server, client_nic = world
+        rng = RandomSource(seed=3)
+        reply = benchmark(
+            trans, client_nic, server.put_port,
+            Message(command=USER_BASE, data=b"x"), rng, 2.0,
+            server.signature_image,
+        )
+        assert reply.data == b"x"
+
+    def test_trans_1kb_payload(self, benchmark, world):
+        _, server, client_nic = world
+        rng = RandomSource(seed=4)
+        payload = b"k" * 1024
+        reply = benchmark(
+            trans, client_nic, server.put_port,
+            Message(command=USER_BASE, data=payload), rng,
+        )
+        assert len(reply.data) == 1024
+
+
+class TestLocateEconomics:
+    def test_locate_cold(self, benchmark, world):
+        net, server, client_nic = world
+
+        def cold_locate():
+            locator = Locator(client_nic, rng=RandomSource(seed=5))
+            return locator.locate(server.put_port)
+
+        machine = benchmark(cold_locate)
+        assert machine == server.node.address
+
+    def test_locate_cached(self, benchmark, world):
+        net, server, client_nic = world
+        locator = Locator(client_nic, rng=RandomSource(seed=6))
+        locator.locate(server.put_port)
+        machine = benchmark(locator.locate, server.put_port)
+        assert machine == server.node.address
+
+    def test_cache_saves_frames(self, world):
+        net, server, client_nic = world
+        locator = Locator(client_nic, rng=RandomSource(seed=7))
+        locator.locate(server.put_port)
+        net.reset_stats()
+        for _ in range(100):
+            locator.locate(server.put_port)
+        assert net.frames_sent == 0  # the cache eliminates all traffic
+
+
+class TestRestrictMessageCost:
+    """The §2.3 comparison, as frame counts on the wire."""
+
+    def test_server_restrict_two_frames(self, world):
+        net, server, client_nic = world
+        client = ServiceClient(client_nic, server.put_port,
+                               rng=RandomSource(seed=8))
+        cap = server.table.create("x")
+        net.reset_stats()
+        client.restrict(cap, 0x01)
+        assert net.frames_sent == 2
+
+    def test_client_restrict_zero_frames(self):
+        net = SimNetwork()
+        scheme = CommutativeScheme()
+        server = Echo(Nic(net), scheme=scheme, rng=RandomSource(seed=9)).start()
+        cap = server.table.create("x")
+        net.reset_stats()
+        scheme.client_restrict(cap, Rights(0x01))
+        assert net.frames_sent == 0
+
+    def test_restrict_round_trip_timing(self, benchmark, world):
+        _, server, client_nic = world
+        client = ServiceClient(client_nic, server.put_port,
+                               rng=RandomSource(seed=10))
+        cap = server.table.create("x")
+        weak = benchmark(client.restrict, cap, 0x01)
+        assert weak.rights == Rights(0x01)

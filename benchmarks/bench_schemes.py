@@ -1,0 +1,116 @@
+"""ALG0-ALG3: the four rights-protection algorithms, compared.
+
+Regenerates the §2.3 comparison the paper makes in prose:
+
+* all four validate genuine capabilities and reject tampering;
+* mint/verify costs order roughly simple < xor-oneway < encrypted <<
+  commutative (modular exponentiation);
+* the commutative scheme pays its cost back by restricting with ZERO
+  server messages (bench_rpc.py measures the round-trip it saves);
+* the plaintext RIGHTS field exists to avoid a 2**N brute force
+  ("its presence merely speeds up the checking" — quantified here).
+"""
+
+import pytest
+
+from repro.core.rights import ALL_RIGHTS, Rights
+from repro.core.schemes import CommutativeScheme, scheme_by_name
+from repro.crypto.randomsrc import RandomSource
+
+
+@pytest.fixture
+def minted(scheme, rng):
+    secret = scheme.new_secret(rng)
+    rights_field, check = scheme.mint(secret, ALL_RIGHTS)
+    return scheme, secret, rights_field, check
+
+
+class TestMint:
+    def test_mint(self, benchmark, scheme, rng):
+        secret = scheme.new_secret(rng)
+        rights_field, check = benchmark(scheme.mint, secret, ALL_RIGHTS)
+        assert scheme.verify(secret, rights_field, check) == ALL_RIGHTS
+
+
+class TestVerify:
+    def test_verify(self, benchmark, minted):
+        scheme, secret, rights_field, check = minted
+        rights = benchmark(scheme.verify, secret, rights_field, check)
+        assert rights == ALL_RIGHTS
+
+    def test_verify_restricted(self, benchmark, minted):
+        # Restricted capabilities are the common case on a busy server;
+        # for the commutative scheme this is the expensive path (one
+        # modular exponentiation per deleted right).
+        scheme, secret, rights_field, check = minted
+        if not scheme.supports_restriction:
+            pytest.skip("scheme cannot restrict")
+        weak_rights, weak_check = scheme.restrict(
+            secret, rights_field, check, Rights(0x01)
+        )
+        rights = benchmark(scheme.verify, secret, weak_rights, weak_check)
+        assert rights == Rights(0x01)
+
+
+class TestRestrict:
+    def test_restrict_server_side(self, benchmark, minted):
+        scheme, secret, rights_field, check = minted
+        if not scheme.supports_restriction:
+            pytest.skip("scheme cannot restrict")
+        weak_rights, weak_check = benchmark(
+            scheme.restrict, secret, rights_field, check, Rights(0x03)
+        )
+        assert scheme.verify(secret, weak_rights, weak_check) == Rights(0x03)
+
+
+class TestClientRestrict:
+    def test_client_restrict_commutative(self, benchmark, rng):
+        """The paper's third algorithm: no server involved at all."""
+        from repro.core.capability import Capability
+        from repro.core.ports import Port
+
+        scheme = CommutativeScheme()
+        secret = scheme.new_secret(rng)
+        rights_field, check = scheme.mint(secret, ALL_RIGHTS)
+        cap = Capability(port=Port(1), object=1, rights=rights_field, check=check)
+        weaker = benchmark(scheme.client_restrict, cap, Rights(0x0F))
+        assert scheme.verify(secret, weaker.rights, weaker.check) == Rights(0x0F)
+
+
+class TestRightsFieldSpeedup:
+    """'In theory at least, the RIGHTS field is not even needed, since the
+    server could try all 2**N combinations ... Its presence merely speeds
+    up the checking.'  Quantify the speedup."""
+
+    def test_verify_with_plaintext_rights(self, benchmark, rng):
+        scheme = CommutativeScheme()
+        secret = scheme.new_secret(rng)
+        rights_field, check = scheme.mint(secret, Rights(0b00010111))
+        rights = benchmark(scheme.verify, secret, rights_field, check)
+        assert rights == Rights(0b00010111)
+
+    def test_recover_rights_by_brute_force(self, benchmark, rng):
+        scheme = CommutativeScheme()
+        secret = scheme.new_secret(rng)
+        _, check = scheme.mint(secret, Rights(0b00010111))
+        rights = benchmark(scheme.recover_rights, secret, check)
+        assert rights == Rights(0b00010111)
+
+
+class TestTamperRejection:
+    def test_reject_tampered_rights(self, benchmark, minted):
+        from repro.errors import InvalidCapability
+
+        scheme, secret, rights_field, check = minted
+        if scheme.name == "simple":
+            pytest.skip("the simple scheme does not protect rights")
+        tampered = Rights(int(rights_field) ^ 0x10)
+
+        def attempt():
+            try:
+                scheme.verify(secret, tampered, check)
+                return False
+            except InvalidCapability:
+                return True
+
+        assert benchmark(attempt)

@@ -1,0 +1,209 @@
+"""SRV-*: the §3 server suite under load.
+
+One benchmark per server: memory segments, raw blocks, flat files (both
+backends), directory lookups at depth, multiversion branch/commit, and
+bank transfers.  Shapes to observe: the block-backed file server pays an
+extra RPC per touched block (the price of §3.2 modularity), branching a
+version is O(pages) bookkeeping with zero I/O, and directory resolution
+is linear in path depth.
+"""
+
+import pytest
+
+from repro.crypto.randomsrc import RandomSource
+from repro.disk.virtualdisk import VirtualDisk
+from repro.kernel.machine import Machine
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+from repro.servers.bank import BankClient, BankServer
+from repro.servers.block import BlockClient, BlockServer
+from repro.servers.directory import DirectoryClient, DirectoryServer, resolve_path
+from repro.servers.flatfile import FlatFileClient, FlatFileServer
+from repro.servers.multiversion import MultiversionClient, MultiversionFileServer
+
+
+@pytest.fixture
+def net():
+    return SimNetwork()
+
+
+class TestMemoryServer:
+    @pytest.fixture
+    def memory(self, net):
+        server = Machine(net, rng=RandomSource(seed=1), memory_capacity=64 << 20)
+        client = Machine(net, rng=RandomSource(seed=2), with_memory_server=False)
+        return client.memory_client(remote_port=server.memory_port)
+
+    def test_memory_create_segment(self, benchmark, memory):
+        cap = benchmark(memory.create_segment, 4096)
+        assert cap is not None
+
+    def test_memory_write_4k(self, benchmark, memory):
+        seg = memory.create_segment(1 << 16)
+        payload = b"m" * 4096
+        benchmark(memory.write, seg, 0, payload)
+
+    def test_memory_read_4k(self, benchmark, memory):
+        seg = memory.create_segment(1 << 16)
+        memory.write(seg, 0, b"m" * 4096)
+        data = benchmark(memory.read, seg, 0, 4096)
+        assert len(data) == 4096
+
+    def test_memory_make_process(self, benchmark, memory):
+        segs = [memory.create_segment(1024) for _ in range(3)]
+        cap = benchmark(memory.make_process, "bench", segs)
+        assert cap is not None
+
+
+class TestBlockServer:
+    @pytest.fixture
+    def blocks(self, net):
+        server = BlockServer(
+            Nic(net), disk=VirtualDisk(n_blocks=1 << 16),
+            rng=RandomSource(seed=3),
+        ).start()
+        return BlockClient(Nic(net), server.put_port, rng=RandomSource(seed=4))
+
+    def test_block_alloc(self, benchmark, blocks):
+        cap, size = benchmark(blocks.alloc)
+        assert size == 512
+
+    def test_block_write(self, benchmark, blocks):
+        cap, _ = blocks.alloc()
+        benchmark(blocks.write, cap, b"d" * 512)
+
+    def test_block_read(self, benchmark, blocks):
+        cap, _ = blocks.alloc(initial=b"d" * 512)
+        data = benchmark(blocks.read, cap)
+        assert len(data) == 512
+
+
+class TestFlatFile:
+    @pytest.fixture(params=["memory", "block"])
+    def files(self, request, net):
+        server_nic = Nic(net)
+        block_client = None
+        if request.param == "block":
+            block_server = BlockServer(
+                Nic(net), disk=VirtualDisk(n_blocks=1 << 16),
+                rng=RandomSource(seed=5),
+            ).start()
+            block_client = BlockClient(
+                server_nic, block_server.put_port, rng=RandomSource(seed=6)
+            )
+        server = FlatFileServer(
+            server_nic, block_client=block_client, rng=RandomSource(seed=7)
+        ).start()
+        return FlatFileClient(Nic(net), server.put_port, rng=RandomSource(seed=8))
+
+    def test_file_create(self, benchmark, files):
+        cap = benchmark(files.create, b"initial")
+        assert cap is not None
+
+    def test_file_write_8k(self, benchmark, files):
+        cap = files.create()
+        payload = b"w" * 8192
+        benchmark(files.write, cap, 0, payload)
+
+    def test_file_read_8k(self, benchmark, files):
+        cap = files.create()
+        files.write(cap, 0, b"r" * 8192)
+        data = benchmark(files.read, cap, 0, 8192)
+        assert len(data) == 8192
+
+
+class TestDirectory:
+    @pytest.fixture
+    def dirs(self, net):
+        server = DirectoryServer(Nic(net), rng=RandomSource(seed=9)).start()
+        client_nic = Nic(net)
+        client = DirectoryClient(client_nic, server.put_port,
+                                 rng=RandomSource(seed=10))
+        return server, client, client_nic
+
+    def test_dir_lookup_flat(self, benchmark, dirs):
+        server, client, _ = dirs
+        root = server.create_root()
+        for i in range(100):
+            client.enter(root, "entry%03d" % i, server.table.create(i))
+        cap = benchmark(client.lookup, root, "entry050")
+        assert cap is not None
+
+    @pytest.mark.parametrize("depth", [1, 4, 16])
+    def test_path_resolution_by_depth(self, benchmark, dirs, depth):
+        server, client, client_nic = dirs
+        root = server.create_root()
+        current = root
+        parts = []
+        for i in range(depth):
+            name = "d%d" % i
+            current = client.create_directory(current, name)
+            parts.append(name)
+        leaf = server.table.create("leaf")
+        client.enter(current, "leaf", leaf)
+        path = "/".join(parts + ["leaf"])
+        rng = RandomSource(seed=11)
+        found = benchmark(resolve_path, client_nic, root, path, rng)
+        assert found == leaf
+
+
+class TestMultiversion:
+    @pytest.fixture
+    def mv(self, net):
+        server = MultiversionFileServer(
+            Nic(net), disk=VirtualDisk(n_blocks=1 << 16, block_size=512),
+            rng=RandomSource(seed=12),
+        ).start()
+        return MultiversionClient(Nic(net), server.put_port,
+                                  rng=RandomSource(seed=13))
+
+    def test_mv_branch_of_64_page_file(self, benchmark, mv):
+        """Branching is COW: cost is page-table bookkeeping, no data I/O."""
+        f = mv.create_file()
+        v, _ = mv.new_version(f)
+        mv.write(v, 0, b"p" * (64 * 512))
+        mv.commit(v)
+        version_cap, base = benchmark(mv.new_version, f)
+        assert base >= 1
+
+    def test_mv_commit(self, benchmark, mv):
+        f = mv.create_file()
+        state = {}
+
+        def branch_write():
+            v, _ = mv.new_version(f)
+            mv.write(v, 0, b"x" * 512)
+            state["v"] = v
+
+        def commit():
+            return mv.commit(state["v"])
+
+        benchmark.pedantic(commit, setup=branch_write, rounds=30)
+
+    def test_mv_cow_write_one_page(self, benchmark, mv):
+        f = mv.create_file()
+        v, _ = mv.new_version(f)
+        mv.write(v, 0, b"p" * (16 * 512))
+        mv.commit(v)
+        v2, _ = mv.new_version(f)
+        # Repeated writes to the same page: first copies, rest rewrite.
+        benchmark(mv.write, v2, 0, b"q" * 512)
+
+
+class TestBank:
+    @pytest.fixture
+    def bank(self, net):
+        server = BankServer(Nic(net), rng=RandomSource(seed=14)).start()
+        client = BankClient(Nic(net), server.put_port, rng=RandomSource(seed=15))
+        a = server.create_account({"USD": 10**9})
+        b = server.create_account({"USD": 10**9})
+        return client, a, b
+
+    def test_bank_transfer(self, benchmark, bank):
+        client, a, b = bank
+        benchmark(client.transfer, a, b, "USD", 1)
+
+    def test_bank_balance(self, benchmark, bank):
+        client, a, _ = bank
+        balances = benchmark(client.balance, a)
+        assert "USD" in balances

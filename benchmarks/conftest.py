@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures: deterministic RNG and scheme instances."""
+
+import pytest
+
+from repro.core.schemes import scheme_by_name
+from repro.crypto.randomsrc import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(seed=0xBE7C)
+
+
+@pytest.fixture(params=["simple", "encrypted", "xor-oneway", "commutative"])
+def scheme(request):
+    return scheme_by_name(request.param)

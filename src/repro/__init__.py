@@ -1,0 +1,115 @@
+"""repro — a reproduction of "Using Sparse Capabilities in a Distributed
+Operating System" (Tanenbaum, Mullender, van Renesse; ICDCS 1986).
+
+The library rebuilds the Amoeba capability architecture in Python:
+
+* :mod:`repro.core` — sparse capabilities, ports, and the four
+  rights-protection algorithms of §2.3;
+* :mod:`repro.net` — the simulated broadcast LAN, F-boxes, and the
+  intruder of Fig. 1 (plus a real UDP transport);
+* :mod:`repro.ipc` — the blocking RPC, server skeleton, and LOCATE;
+* :mod:`repro.softprot` — §2.4 protection without F-boxes (key matrix,
+  capability caches, public-key bootstrap, link encryption);
+* :mod:`repro.kernel` — machines, processes, and the memory server;
+* :mod:`repro.servers` — the §3 server suite (block, flat file,
+  directory, multiversion, bank, charging, UNIX-fs facade);
+* :mod:`repro.disk` — the virtual (optionally write-once) disk.
+
+Quickstart::
+
+    from repro import SimNetwork, Machine, FlatFileServer, FlatFileClient
+
+    net = SimNetwork()
+    server_machine = Machine(net)
+    client_machine = Machine(net)
+    files = FlatFileServer(server_machine.nic).start()
+    client = FlatFileClient(client_machine.nic, files.put_port)
+    cap = client.create(b"hello, sparse capabilities")
+    print(client.read(cap, 0, 26))
+"""
+
+from repro.core import (
+    ALL_RIGHTS,
+    Capability,
+    CommutativeScheme,
+    EncryptedRightsScheme,
+    NO_RIGHTS,
+    ObjectTable,
+    Port,
+    PrivatePort,
+    Rights,
+    SimpleCheckScheme,
+    XorOneWayScheme,
+    scheme_by_name,
+)
+from repro.errors import (
+    AmoebaError,
+    CapabilityError,
+    InvalidCapability,
+    PermissionDenied,
+)
+from repro.ipc import Locator, ObjectServer, ServiceClient, command, trans
+from repro.kernel import Machine, MemoryClient, MemoryServer
+from repro.net import FBox, Intruder, Message, Nic, SimNetwork
+from repro.servers import (
+    BankClient,
+    BankServer,
+    BlockClient,
+    BlockServer,
+    ChargingFlatFileServer,
+    DirectoryClient,
+    DirectoryServer,
+    FlatFileClient,
+    FlatFileServer,
+    MultiversionClient,
+    MultiversionFileServer,
+    UnixFs,
+    resolve_path,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RIGHTS",
+    "AmoebaError",
+    "BankClient",
+    "BankServer",
+    "BlockClient",
+    "BlockServer",
+    "Capability",
+    "CapabilityError",
+    "ChargingFlatFileServer",
+    "CommutativeScheme",
+    "DirectoryClient",
+    "DirectoryServer",
+    "EncryptedRightsScheme",
+    "FBox",
+    "FlatFileClient",
+    "FlatFileServer",
+    "Intruder",
+    "InvalidCapability",
+    "Locator",
+    "Machine",
+    "MemoryClient",
+    "MemoryServer",
+    "Message",
+    "MultiversionClient",
+    "MultiversionFileServer",
+    "NO_RIGHTS",
+    "Nic",
+    "ObjectServer",
+    "ObjectTable",
+    "PermissionDenied",
+    "Port",
+    "PrivatePort",
+    "Rights",
+    "ServiceClient",
+    "SimNetwork",
+    "SimpleCheckScheme",
+    "UnixFs",
+    "XorOneWayScheme",
+    "command",
+    "resolve_path",
+    "scheme_by_name",
+    "trans",
+]

@@ -1,0 +1,110 @@
+"""Ports: sparse 48-bit service addresses, and the get/put pair (§2.2).
+
+Every port is "really a pair of ports, P and G, related by P = F(G)".  The
+server keeps the *get-port* G secret and listens on it; clients address
+messages to the *put-port* P, which is public.  Because F is one-way,
+knowing P does not let an intruder listen for the server's traffic.
+
+``Port`` is the public 48-bit value that appears in capabilities and wire
+headers.  ``PrivatePort`` wraps a secret value (a get-port or a signature
+secret S) and can derive its public image; its repr never prints the
+secret, so logs cannot leak it.
+"""
+
+from dataclasses import dataclass
+
+from repro.crypto.oneway import PORT_BITS, default_oneway
+from repro.crypto.randomsrc import RandomSource
+from repro.util.bits import mask
+
+#: Bytes occupied by a port on the wire (Fig. 2: 48 bits).
+PORT_BYTES = PORT_BITS // 8
+
+
+@dataclass(frozen=True, order=True)
+class Port:
+    """A public 48-bit port value (a put-port, or any wire port field)."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value <= mask(PORT_BITS):
+            raise ValueError(
+                "port value %#x outside the %d-bit space" % (self.value, PORT_BITS)
+            )
+
+    def to_bytes(self):
+        """Big-endian wire encoding, exactly :data:`PORT_BYTES` long."""
+        return self.value.to_bytes(PORT_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) != PORT_BYTES:
+            raise ValueError(
+                "port needs exactly %d bytes, got %d" % (PORT_BYTES, len(data))
+            )
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def random(cls, rng=None):
+        """Draw a fresh random port — sparse in a 2**48 space."""
+        rng = rng or RandomSource()
+        return cls(rng.bits(PORT_BITS))
+
+    @property
+    def is_null(self):
+        return self.value == 0
+
+    def __repr__(self):
+        return "Port(%012x)" % self.value
+
+
+#: The all-zero port, used for unused header fields.
+NULL_PORT = Port(0)
+
+
+@dataclass(frozen=True)
+class PrivatePort:
+    """A secret port value: a server get-port G, or a signature secret S.
+
+    The public image ``F(secret)`` is exposed via :attr:`public`; the
+    secret itself stays inside the owning process and never appears on the
+    wire (the F-box transforms it on egress).
+    """
+
+    secret: int
+
+    def __post_init__(self):
+        if not 0 <= self.secret <= mask(PORT_BITS):
+            raise ValueError("secret outside the %d-bit port space" % PORT_BITS)
+
+    @classmethod
+    def generate(cls, rng=None):
+        """Choose a fresh secret port (a well-kept 48-bit secret)."""
+        rng = rng or RandomSource()
+        return cls(rng.bits(PORT_BITS))
+
+    @property
+    def public(self):
+        """The put-port P = F(G) that clients use to reach this service."""
+        return Port(default_oneway()(self.secret))
+
+    def __repr__(self):
+        # Never print the secret: knowledge of a port IS the credential.
+        return "PrivatePort(public=%r)" % self.public
+
+
+def as_port(value):
+    """Coerce a ``Port``, ``PrivatePort``, or integer to a :class:`Port`.
+
+    A ``PrivatePort`` coerces to its *secret* value — this is what a
+    process hands to GET or places in a reply/signature header field; the
+    F-box applies F on the way out, never the caller.
+    """
+    if isinstance(value, Port):
+        return value
+    if isinstance(value, PrivatePort):
+        return Port(value.secret)
+    if isinstance(value, int):
+        return Port(value)
+    raise TypeError("cannot interpret %r as a port" % (value,))

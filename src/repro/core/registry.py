@@ -1,0 +1,247 @@
+"""The server-side object table: secrets, payloads, and revocation.
+
+Every Amoeba server keeps a private table mapping 24-bit object numbers to
+(random number, object data).  The table plus a protection scheme is all a
+server needs to mint, validate, restrict, and revoke capabilities — no
+central capability manager exists anywhere in the system (§2.3).
+
+Revocation works exactly as the paper describes: "ask the server to change
+the random number stored in its internal table and return a new
+capability"; every outstanding capability for the object dies instantly.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.capability import OBJECT_BITS, Capability
+from repro.core.rights import ALL_RIGHTS, NO_RIGHTS, Rights
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import NoSuchObject, PermissionDenied
+
+
+@dataclass
+class ObjectEntry:
+    """One row of a server's object table."""
+
+    number: int
+    secret: object
+    data: object
+    #: Monotonic count of secret refreshes — a revocation generation.
+    generation: int = 0
+    #: Bookkeeping useful to servers (e.g. touch for garbage collection).
+    touches: int = field(default=0)
+    #: Sweeps left before the object is garbage (None = never collected).
+    #: Every successful lookup (STD_TOUCH included) resets it.
+    lifetime: object = None
+
+
+class ObjectTable:
+    """Thread-safe object table bound to one scheme and one server port.
+
+    Parameters
+    ----------
+    scheme:
+        The :class:`~repro.core.schemes.ProtectionScheme` protecting this
+        server's capabilities.
+    port:
+        The server's public put-port, stamped into every minted capability.
+    rng:
+        Randomness source for object secrets (seedable for tests).
+    """
+
+    def __init__(
+        self,
+        scheme,
+        port,
+        rng=None,
+        max_objects=1 << OBJECT_BITS,
+        default_lifetime=None,
+    ):
+        if max_objects < 1 or max_objects > (1 << OBJECT_BITS):
+            raise ValueError("max_objects must be in [1, 2**24]")
+        if default_lifetime is not None and default_lifetime < 1:
+            raise ValueError("default_lifetime must be >= 1 sweeps")
+        self.scheme = scheme
+        self.port = port
+        self._rng = rng or RandomSource()
+        self._max_objects = max_objects
+        #: Sweeps a fresh/touched object survives; None disables aging.
+        #: This is Amoeba's touch-based garbage collection: servers that
+        #: keep no record of capability holders cannot refcount, so
+        #: objects not touched for N sweeps are presumed garbage.
+        self.default_lifetime = default_lifetime
+        self._entries = {}
+        self._free_numbers = []
+        self._next_number = 0
+        self._lock = threading.RLock()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, number):
+        return number in self._entries
+
+    def numbers(self):
+        """Snapshot of the allocated object numbers."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def _allocate_number(self):
+        if self._free_numbers:
+            return self._free_numbers.pop()
+        if self._next_number >= self._max_objects:
+            raise NoSuchObject(
+                "object table full (%d objects)" % self._max_objects
+            )
+        number = self._next_number
+        self._next_number += 1
+        return number
+
+    def create(self, data, rights=ALL_RIGHTS):
+        """Create an object and mint its first capability.
+
+        The returned capability is the object's *owner* capability; the
+        paper's servers always mint with all rights and let callers derive
+        weaker ones.
+        """
+        with self._lock:
+            number = self._allocate_number()
+            secret = self.scheme.new_secret(self._rng)
+            self._entries[number] = ObjectEntry(
+                number=number,
+                secret=secret,
+                data=data,
+                lifetime=self.default_lifetime,
+            )
+        rights_field, check = self.scheme.mint(secret, Rights(rights))
+        return Capability(
+            port=self.port, object=number, rights=rights_field, check=check
+        )
+
+    def _entry(self, number):
+        try:
+            return self._entries[number]
+        except KeyError:
+            raise NoSuchObject("no object %d on this server" % number) from None
+
+    def lookup(self, capability, required=NO_RIGHTS):
+        """Validate a capability and return ``(entry, effective_rights)``.
+
+        Raises :class:`NoSuchObject` for unknown object numbers,
+        :class:`InvalidCapability` for tampered fields, and
+        :class:`PermissionDenied` when the (validated) rights lack any bit
+        of ``required``.  This is the single enforcement point every server
+        operation funnels through.
+        """
+        with self._lock:
+            entry = self._entry(capability.object)
+            secret = entry.secret
+        effective = self.scheme.verify(secret, capability.rights, capability.check)
+        required = Rights(required)
+        if not effective.has_all(required):
+            raise PermissionDenied(
+                "capability grants %s but operation requires %s"
+                % (bin(int(effective)), bin(int(required)))
+            )
+        entry.touches += 1
+        entry.lifetime = self.default_lifetime  # any use proves liveness
+        return entry, effective
+
+    def data(self, capability, required=NO_RIGHTS):
+        """Shorthand for ``lookup(...)[0].data``."""
+        entry, _ = self.lookup(capability, required)
+        return entry.data
+
+    def restrict(self, capability, keep_mask):
+        """Server-side sub-capability fabrication (schemes 1–3).
+
+        The §2.3 round-trip: "send the capability back to the server along
+        with a bit mask and a request to fabricate a new capability with
+        fewer rights."
+        """
+        with self._lock:
+            entry = self._entry(capability.object)
+            secret = entry.secret
+        rights_field, check = self.scheme.restrict(
+            secret, capability.rights, capability.check, Rights(keep_mask)
+        )
+        return Capability(
+            port=self.port,
+            object=capability.object,
+            rights=rights_field,
+            check=check,
+        )
+
+    def refresh(self, capability, required=ALL_RIGHTS):
+        """Revoke every outstanding capability for an object.
+
+        Replaces the stored random number and returns a fresh owner
+        capability.  Per the paper this "must be protected with a bit in
+        the RIGHTS field"; callers pass the server's chosen mask as
+        ``required`` (default: demand the full owner capability).
+        """
+        with self._lock:
+            entry, _ = self.lookup(capability, required)
+            entry.secret = self.scheme.new_secret(self._rng)
+            entry.generation += 1
+            secret = entry.secret
+        rights_field, check = self.scheme.mint(secret, ALL_RIGHTS)
+        return Capability(
+            port=self.port,
+            object=capability.object,
+            rights=rights_field,
+            check=check,
+        )
+
+    def destroy(self, capability, required=ALL_RIGHTS):
+        """Validate and remove an object, recycling its number."""
+        with self._lock:
+            entry, _ = self.lookup(capability, required)
+            del self._entries[entry.number]
+            self._free_numbers.append(entry.number)
+            return entry.data
+
+    def age(self, on_expire=None):
+        """One garbage-collection sweep (Amoeba's touch-based GC).
+
+        Decrements every aging object's lifetime; objects that reach zero
+        are removed (``on_expire(entry)`` is called first, so a server
+        can release disk blocks etc.).  Returns the expired entries.
+
+        Because no record exists of who holds capabilities, liveness can
+        only be proven by *use*: any successful lookup — including the
+        no-op STD_TOUCH — resets the lifetime.  Directory-style servers
+        run a background client that touches everything still reachable
+        by name, then call age(); what remains unproven is garbage.
+        """
+        with self._lock:
+            expired = []
+            for entry in list(self._entries.values()):
+                if entry.lifetime is None:
+                    continue
+                entry.lifetime -= 1
+                if entry.lifetime <= 0:
+                    expired.append(entry)
+            for entry in expired:
+                del self._entries[entry.number]
+                self._free_numbers.append(entry.number)
+        for entry in expired:
+            if on_expire is not None:
+                on_expire(entry)
+        return expired
+
+    def mint_for(self, number, rights=ALL_RIGHTS):
+        """Mint a capability for an existing object *without* validation.
+
+        Servers use this internally (e.g. the directory server re-minting
+        a stored capability is wrong — it stores whole capabilities — but
+        the memory server minting a process capability after MAKE PROCESS
+        is exactly this).  Never expose this over the wire.
+        """
+        with self._lock:
+            entry = self._entry(number)
+            secret = entry.secret
+        rights_field, check = self.scheme.mint(secret, Rights(rights))
+        return Capability(
+            port=self.port, object=number, rights=rights_field, check=check
+        )

@@ -1,0 +1,33 @@
+"""Cryptographic substrate for sparse capabilities.
+
+The paper relies on four primitives, all built here from ``hashlib`` and
+integer arithmetic (no external crypto packages):
+
+* a one-way function ``F`` for ports and check fields (:mod:`~repro.crypto.oneway`),
+* a family of *commutative* one-way functions for client-side rights
+  restriction (:mod:`~repro.crypto.commutative`),
+* a conventional block cipher standing in for DES
+  (:mod:`~repro.crypto.feistel`), and
+* a public-key cryptosystem for the no-F-box bootstrap protocol
+  (:mod:`~repro.crypto.publickey`).
+
+None of this is production cryptography; it is a faithful, testable
+reproduction of the paper's constructions.
+"""
+
+from repro.crypto.commutative import CommutativeOneWayFamily
+from repro.crypto.feistel import FeistelCipher
+from repro.crypto.oneway import OneWayFunction, default_oneway
+from repro.crypto.publickey import KeyPair, PublicKey, generate_keypair
+from repro.crypto.randomsrc import RandomSource
+
+__all__ = [
+    "CommutativeOneWayFamily",
+    "FeistelCipher",
+    "KeyPair",
+    "OneWayFunction",
+    "PublicKey",
+    "RandomSource",
+    "default_oneway",
+    "generate_keypair",
+]

@@ -1,0 +1,57 @@
+"""Prime generation for the public-key substrate (Miller–Rabin).
+
+Only the §2.4 bootstrap protocol needs public-key cryptography; primes are
+generated once per server identity, so pure-Python performance is fine.
+"""
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def is_probable_prime(n, rng, rounds=40):
+    """Miller–Rabin primality test with ``rounds`` random witnesses.
+
+    With 40 rounds the error probability is below 2**-80, far below the
+    48-bit sparseness the capability scheme itself relies on.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits, rng, avoid_divisors_of_p_minus_1=()):
+    """Generate a random prime with exactly ``bits`` bits.
+
+    ``avoid_divisors_of_p_minus_1`` lists small primes that must *not*
+    divide ``p - 1``; the commutative family needs this so its exponents
+    stay coprime to the group order.
+    """
+    if bits < 8:
+        raise ValueError("refusing to generate a prime under 8 bits")
+    while True:
+        candidate = rng.bits(bits) | (1 << (bits - 1)) | 1
+        if any((candidate - 1) % e == 0 for e in avoid_divisors_of_p_minus_1):
+            continue
+        if is_probable_prime(candidate, rng):
+            return candidate

@@ -1,0 +1,131 @@
+"""Public-key cryptosystem for the software-protection bootstrap (§2.4).
+
+When F-boxes are absent, a newly booted machine establishes conventional
+keys with its peers using the public key of well-known servers: the client
+sends a fresh conventional key encrypted with the server's public key, and
+the server proves its identity by answering under that key with a message
+also sealed by its *private* key ("encrypted ... with the inverse of F's
+public key" in the paper's phrasing — i.e. a signature).
+
+This module provides textbook RSA with random padding and hash-then-sign
+signatures, built on :mod:`repro.crypto.primes`.  It reproduces the
+protocol's mechanics; it is not hardened production RSA.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import SecurityError
+
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An RSA public key ``(n, e)``; safe to publish network-wide."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self):
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, message, rng=None):
+        """Encrypt a short message with random PKCS#1-style padding.
+
+        Random padding makes encryptions non-deterministic, which the
+        bootstrap protocol needs so replayed ciphertexts are detectable
+        via the fresh keys inside, not by ciphertext equality.
+        """
+        rng = rng or RandomSource()
+        k = self.modulus_bytes
+        if len(message) > k - 11:
+            raise ValueError(
+                "message of %d bytes exceeds the %d-byte RSA payload limit"
+                % (len(message), k - 11)
+            )
+        pad_len = k - 3 - len(message)
+        padding = bytearray()
+        while len(padding) < pad_len:
+            chunk = rng.bytes(pad_len - len(padding))
+            padding.extend(b for b in chunk if b != 0)
+        block = b"\x00\x02" + bytes(padding) + b"\x00" + message
+        value = int.from_bytes(block, "big")
+        return pow(value, self.e, self.n).to_bytes(k, "big")
+
+    def verify(self, message, signature):
+        """Check a hash-then-sign signature; returns True/False."""
+        if len(signature) != self.modulus_bytes:
+            return False
+        sig_value = int.from_bytes(signature, "big")
+        if sig_value >= self.n:
+            return False
+        recovered = pow(sig_value, self.e, self.n)
+        expected = int.from_bytes(_digest(message), "big")
+        return recovered == expected
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA keypair; the private exponent never leaves this object."""
+
+    public: PublicKey
+    _d: int
+
+    def decrypt(self, ciphertext):
+        """Invert :meth:`PublicKey.encrypt`, validating the padding."""
+        k = self.public.modulus_bytes
+        if len(ciphertext) != k:
+            raise SecurityError("ciphertext length %d != modulus length %d"
+                                % (len(ciphertext), k))
+        value = int.from_bytes(ciphertext, "big")
+        if value >= self.public.n:
+            raise SecurityError("ciphertext out of range")
+        block = pow(value, self._d, self.public.n).to_bytes(k, "big")
+        if block[:2] != b"\x00\x02":
+            raise SecurityError("bad padding header")
+        try:
+            split = block.index(b"\x00", 2)
+        except ValueError:
+            raise SecurityError("unterminated padding") from None
+        if split < 10:
+            raise SecurityError("padding too short")
+        return block[split + 1:]
+
+    def sign(self, message):
+        """Produce a hash-then-sign signature over ``message``."""
+        value = int.from_bytes(_digest(message), "big")
+        signature = pow(value, self._d, self.public.n)
+        return signature.to_bytes(self.public.modulus_bytes, "big")
+
+
+def _digest(message):
+    if isinstance(message, str):
+        message = message.encode("utf-8")
+    return hashlib.sha256(message).digest()
+
+
+def generate_keypair(bits=512, rng=None):
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    512 bits keeps pure-Python keygen fast while exercising the real
+    protocol; the bootstrap tests use deterministic RNGs for speed.
+    """
+    if bits < 128:
+        raise ValueError("modulus under 128 bits cannot carry a session key")
+    rng = rng or RandomSource()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = pow(_PUBLIC_EXPONENT, -1, phi)
+        return KeyPair(public=PublicKey(n=n, e=_PUBLIC_EXPONENT), _d=d)

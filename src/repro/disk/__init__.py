@@ -1,0 +1,5 @@
+"""Storage substrate: the virtual disk behind the §3 storage servers."""
+
+from repro.disk.virtualdisk import VirtualDisk
+
+__all__ = ["VirtualDisk"]

@@ -1,0 +1,111 @@
+"""A simulated raw disk: numbered blocks, allocation, write-once media.
+
+The paper's storage servers sit on real disks (and, for the multiversion
+file server, on video disks and "other write-once media").  This module is
+the laptop-scale substitute: an in-memory array of fixed-size blocks with
+an allocation bitmap, read/write counters for the benchmarks, and an
+optional write-once mode in which a block, once written, can never be
+rewritten (and never freed), matching §3.5's constraint that committed
+pages are immutable.
+"""
+
+from repro.errors import OutOfSpace, WriteOnceViolation
+
+#: Default block geometry: 1986-plausible 512-byte sectors.
+DEFAULT_BLOCK_SIZE = 512
+
+
+class VirtualDisk:
+    """An array of ``n_blocks`` blocks of ``block_size`` bytes each."""
+
+    def __init__(self, n_blocks, block_size=DEFAULT_BLOCK_SIZE, write_once=False):
+        if n_blocks < 1:
+            raise ValueError("disk needs at least one block")
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        self.n_blocks = n_blocks
+        self.block_size = block_size
+        self.write_once = write_once
+        self._blocks = {}
+        self._free = list(range(n_blocks - 1, -1, -1))
+        self._written = set()
+        #: I/O counters for the benchmarks.
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def free_blocks(self):
+        return len(self._free)
+
+    @property
+    def used_blocks(self):
+        return self.n_blocks - len(self._free)
+
+    def allocate(self):
+        """Reserve a free block and return its number."""
+        if not self._free:
+            raise OutOfSpace("disk full: all %d blocks in use" % self.n_blocks)
+        return self._free.pop()
+
+    def free(self, block_no):
+        """Return a block to the free pool (never allowed on write-once
+        media — the bits are physically burnt)."""
+        self._check_block_no(block_no)
+        if self.write_once and block_no in self._written:
+            raise WriteOnceViolation(
+                "block %d is burnt into write-once media" % block_no
+            )
+        self._blocks.pop(block_no, None)
+        self._written.discard(block_no)
+        self._free.append(block_no)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, block_no):
+        """Read a whole block (unwritten blocks read as zeros)."""
+        self._check_block_no(block_no)
+        self.reads += 1
+        data = self._blocks.get(block_no)
+        if data is None:
+            return bytes(self.block_size)
+        return bytes(data)
+
+    def write(self, block_no, data):
+        """Write a whole block, zero-padding short data."""
+        self._check_block_no(block_no)
+        if len(data) > self.block_size:
+            raise ValueError(
+                "%d bytes exceed the %d-byte block" % (len(data), self.block_size)
+            )
+        if self.write_once and block_no in self._written:
+            raise WriteOnceViolation(
+                "block %d on write-once media is already written" % block_no
+            )
+        self.writes += 1
+        padded = bytes(data) + bytes(self.block_size - len(data))
+        self._blocks[block_no] = padded
+        self._written.add(block_no)
+
+    def is_written(self, block_no):
+        self._check_block_no(block_no)
+        return block_no in self._written
+
+    def _check_block_no(self, block_no):
+        if not 0 <= block_no < self.n_blocks:
+            raise ValueError(
+                "block %d outside disk of %d blocks" % (block_no, self.n_blocks)
+            )
+
+    def __repr__(self):
+        return "VirtualDisk(%d/%d blocks used, %d-byte blocks%s)" % (
+            self.used_blocks,
+            self.n_blocks,
+            self.block_size,
+            ", write-once" if self.write_once else "",
+        )

@@ -1,0 +1,194 @@
+"""Exception hierarchy and wire error codes for the Amoeba reproduction.
+
+Amoeba RPC replies carry a small integer status; servers map exceptions to
+codes when replying and clients map codes back to exceptions, so the same
+exception types flow end to end whether a server is called in-process or
+over the (simulated or real) network.
+"""
+
+
+class AmoebaError(Exception):
+    """Base class for every error raised by this library."""
+
+    #: Wire status code carried in RPC reply headers.
+    code = 1
+
+
+class CapabilityError(AmoebaError):
+    """Base class for capability validation failures."""
+
+    code = 10
+
+
+class InvalidCapability(CapabilityError):
+    """The check field does not validate: forged, corrupted, or revoked."""
+
+    code = 11
+
+
+class PermissionDenied(CapabilityError):
+    """The capability is genuine but lacks the rights bit for the operation."""
+
+    code = 12
+
+
+class NoSuchObject(CapabilityError):
+    """The object number does not exist in the server's object table."""
+
+    code = 13
+
+
+class MalformedCapability(CapabilityError):
+    """The capability bytes cannot be parsed into the Fig. 2 layout."""
+
+    code = 14
+
+
+class RPCError(AmoebaError):
+    """Base class for transport and request/reply failures."""
+
+    code = 20
+
+
+class PortNotLocated(RPCError):
+    """No machine answered a LOCATE for the destination put-port."""
+
+    code = 21
+
+
+class RPCTimeout(RPCError):
+    """The blocking transaction did not complete in time."""
+
+    code = 22
+
+
+class BadRequest(RPCError):
+    """The server could not parse the request (unknown opcode, bad params)."""
+
+    code = 23
+
+
+class ServerError(AmoebaError):
+    """Base class for per-server semantic failures."""
+
+    code = 30
+
+
+class OutOfSpace(ServerError):
+    """The disk or memory resource backing the server is exhausted."""
+
+    code = 31
+
+
+class NameNotFound(ServerError):
+    """Directory lookup failed for the given name."""
+
+    code = 32
+
+
+class NameExists(ServerError):
+    """Directory entry already present and overwrite was not requested."""
+
+    code = 33
+
+
+class VersionConflict(ServerError):
+    """Optimistic commit lost the race: the base version is no longer newest."""
+
+    code = 34
+
+
+class VersionImmutable(ServerError):
+    """Attempt to modify a committed (write-once) file version."""
+
+    code = 35
+
+
+class InsufficientFunds(ServerError):
+    """Bank transfer or payment exceeds the account balance."""
+
+    code = 36
+
+
+class UnknownCurrency(ServerError):
+    """The bank account has no balance in the requested currency."""
+
+    code = 37
+
+
+class InconvertibleCurrency(ServerError):
+    """Conversion requested between currencies with no exchange rate."""
+
+    code = 38
+
+
+class ProcessStateError(ServerError):
+    """Process operation invalid in the current state (e.g. start a runner)."""
+
+    code = 39
+
+
+class SecurityError(AmoebaError):
+    """Cryptographic protocol failure (bootstrap handshake, bad signature)."""
+
+    code = 40
+
+
+class WriteOnceViolation(ServerError):
+    """Attempt to rewrite a block on write-once media (video disk, §3.5)."""
+
+    code = 41
+
+
+#: Status code for a successful reply.
+STATUS_OK = 0
+
+_CODE_TO_EXCEPTION = {}
+
+
+def _register(cls):
+    _CODE_TO_EXCEPTION[cls.code] = cls
+
+
+for _cls in (
+    AmoebaError,
+    CapabilityError,
+    InvalidCapability,
+    PermissionDenied,
+    NoSuchObject,
+    MalformedCapability,
+    RPCError,
+    PortNotLocated,
+    RPCTimeout,
+    BadRequest,
+    ServerError,
+    OutOfSpace,
+    NameNotFound,
+    NameExists,
+    VersionConflict,
+    VersionImmutable,
+    InsufficientFunds,
+    UnknownCurrency,
+    InconvertibleCurrency,
+    ProcessStateError,
+    SecurityError,
+    WriteOnceViolation,
+):
+    _register(_cls)
+
+
+def error_to_code(exc):
+    """Map an exception instance to its wire status code."""
+    if isinstance(exc, AmoebaError):
+        return exc.code
+    return AmoebaError.code
+
+
+def code_to_error(code, message=""):
+    """Map a wire status code back to an exception instance.
+
+    Unknown codes map to the base ``AmoebaError`` so a newer server cannot
+    crash an older client.
+    """
+    cls = _CODE_TO_EXCEPTION.get(code, AmoebaError)
+    return cls(message)

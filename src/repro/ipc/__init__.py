@@ -1,0 +1,42 @@
+"""RPC and service plumbing on top of the network substrate.
+
+Amoeba's communication model (§2.1): a client performs an operation on an
+object by sending a request — one message carrying a capability, an
+operation code, and parameters — and blocking until the reply arrives.
+There are no connections or long-lived communication structures.
+"""
+
+from repro.ipc.client import ServiceClient
+from repro.ipc.locate import Locator, install_locate_responder
+from repro.ipc.rpc import trans
+from repro.ipc.server import ObjectServer, RequestContext, command
+from repro.ipc.stdops import (
+    HERE,
+    LOCATE,
+    RIGHT_ADMIN,
+    STD_DESTROY,
+    STD_INFO,
+    STD_REFRESH,
+    STD_RESTRICT,
+    STD_TOUCH,
+    USER_BASE,
+)
+
+__all__ = [
+    "HERE",
+    "LOCATE",
+    "Locator",
+    "ObjectServer",
+    "RIGHT_ADMIN",
+    "RequestContext",
+    "STD_DESTROY",
+    "STD_INFO",
+    "STD_REFRESH",
+    "STD_RESTRICT",
+    "STD_TOUCH",
+    "ServiceClient",
+    "USER_BASE",
+    "command",
+    "install_locate_responder",
+    "trans",
+]

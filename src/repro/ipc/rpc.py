@@ -1,0 +1,109 @@
+"""The blocking transaction primitive (§2.1).
+
+``trans`` is the whole client-side protocol: pick a fresh reply get-port
+G', listen on it, send the request with G' in the reply field (the F-box
+puts F(G') on the wire), and block for the reply.  A fresh G' per
+transaction means stale replies from earlier transactions land on ports
+nobody listens to — the system needs no sequence numbers.
+
+Replies may optionally be authenticated against a server's published
+signature image F(S): forged replies (which *are* deliverable, since the
+reply put-port is visible on the wire) then fail the signature comparison
+and are discarded.  This is the digital-signature mechanism of §2.2.
+"""
+
+import time
+
+from repro.core.ports import PrivatePort, as_port
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import PortNotLocated, RPCTimeout
+
+_DEFAULT_RNG = RandomSource()
+
+
+def trans(
+    node,
+    dest_port,
+    request,
+    rng=None,
+    timeout=2.0,
+    expect_signature=None,
+    dst_machine=None,
+    signature=None,
+):
+    """Send one request and block for its reply.
+
+    Parameters
+    ----------
+    node:
+        A station (:class:`~repro.net.nic.Nic` or
+        :class:`~repro.net.sockets.SocketNode`).
+    dest_port:
+        The service's public put-port.
+    request:
+        The :class:`~repro.net.message.Message` to send; its ``dest`` and
+        ``reply`` fields are filled in here.
+    expect_signature:
+        The server's published signature image F(S); replies whose
+        signature field differs are discarded as forgeries.
+    dst_machine:
+        Located machine address for unicast (see
+        :class:`~repro.ipc.locate.Locator`); ``None`` lets the admission
+        filters route.
+    signature:
+        The *client's* signature secret (a :class:`PrivatePort`), placed
+        in the signature field for server-side sender authentication.
+
+    Raises
+    ------
+    PortNotLocated
+        No station admitted the request frame (simulated network only).
+    RPCTimeout
+        No (acceptable) reply arrived within ``timeout`` seconds.
+    """
+    rng = rng or _DEFAULT_RNG
+    reply_private = PrivatePort.generate(rng)
+    node.listen(reply_private)
+    try:
+        outgoing = request.copy(
+            dest=as_port(dest_port),
+            reply=as_port(reply_private),
+            is_reply=False,
+        )
+        if signature is not None:
+            outgoing = outgoing.copy(signature=as_port(signature))
+        accepted = node.put(outgoing, dst_machine=dst_machine)
+        if not accepted and dst_machine is None:
+            raise PortNotLocated(
+                "no server is listening on port %r" % as_port(dest_port)
+            )
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            frame = _poll(node, reply_private, remaining)
+            if frame is None:
+                raise RPCTimeout(
+                    "no reply within %.3fs from port %r"
+                    % (timeout, as_port(dest_port))
+                )
+            reply = frame.message
+            if expect_signature is not None and reply.signature != expect_signature:
+                # A forged reply: keep waiting for the genuine one.
+                continue
+            return reply
+    finally:
+        node.unlisten(reply_private)
+
+
+def _poll(node, port, remaining):
+    """Poll a station; the simulator is synchronous, sockets block."""
+    frame = node.poll(port)
+    if frame is not None or remaining <= 0:
+        return frame
+    try:
+        return node.poll(port, timeout=remaining)
+    except TypeError:
+        # The simulated Nic has no timeout concept: delivery already
+        # happened synchronously during put(), so an empty queue now is
+        # final.
+        return None

@@ -1,0 +1,314 @@
+"""The server skeleton: dispatch, standard operations, signed replies.
+
+An :class:`ObjectServer` is the reusable shape of every Amoeba service in
+§3: a secret get-port, a published put-port and signature image, an
+object table protected by one of the §2.3 schemes, and a command
+dispatcher.  Subclasses declare operations with the :func:`command`
+decorator and get the standard capability operations (INFO, RESTRICT,
+REFRESH, DESTROY, TOUCH) for free.
+
+Servers are deliberately ordinary processes: nothing here is privileged,
+and several servers can run on one machine or the same server on several
+machines (the network round-robins among listeners on a shared port).
+"""
+
+from repro.core.ports import PrivatePort, as_port
+from repro.core.registry import ObjectTable
+from repro.core.rights import NO_RIGHTS, Rights
+from repro.core.schemes import XorOneWayScheme
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import (
+    AmoebaError,
+    BadRequest,
+    InvalidCapability,
+    SecurityError,
+    error_to_code,
+)
+from repro.ipc import stdops
+from repro.net.message import Message
+
+
+def command(opcode):
+    """Declare a method as the handler for operation code ``opcode``.
+
+    The method receives a :class:`RequestContext` and returns a reply
+    :class:`Message` (usually via :meth:`RequestContext.ok`).
+    """
+
+    def decorate(fn):
+        fn._amoeba_command = opcode
+        return fn
+
+    return decorate
+
+
+class RequestContext:
+    """Everything a handler needs about one incoming request."""
+
+    def __init__(self, server, frame, request=None):
+        self.server = server
+        self.frame = frame
+        # The request may differ from frame.message when §2.4 sealing is
+        # in use (capabilities have been decrypted back to plaintext).
+        self.request = request if request is not None else frame.message
+
+    @property
+    def capability(self):
+        """The capability in the request header (may be ``None``)."""
+        return self.request.capability
+
+    def lookup(self, required=NO_RIGHTS):
+        """Validate the request's capability against the object table.
+
+        The single enforcement point: raises if the capability is absent,
+        forged, revoked, or lacks the ``required`` rights.
+        """
+        if self.request.capability is None:
+            raise BadRequest("operation requires a capability")
+        return self.server.table.lookup(self.request.capability, required)
+
+    def ok(self, data=b"", capability=None, offset=0, size=0, extra_caps=()):
+        """Build a success reply to this request."""
+        return self.request.reply_to(
+            status=0,
+            data=data,
+            capability=capability,
+            offset=offset,
+            size=size,
+            extra_caps=tuple(extra_caps),
+        )
+
+    def error(self, exc):
+        """Build an error reply carrying the exception's wire code."""
+        return self.request.reply_to(
+            status=error_to_code(exc), data=str(exc).encode("utf-8")
+        )
+
+
+class ObjectServer:
+    """Base class for every object-managing service.
+
+    Parameters
+    ----------
+    node:
+        The station this server receives on.
+    scheme:
+        A §2.3 protection scheme; defaults to the XOR-one-way scheme that
+        production Amoeba used.
+    rng:
+        Randomness for ports, signatures, and object secrets.
+    """
+
+    #: Human-readable service name, reported by STD_INFO.
+    service_name = "object server"
+
+    #: Rights mask required for REFRESH (revocation) and DESTROY.
+    admin_rights = Rights(stdops.RIGHT_ADMIN)
+
+    def __init__(
+        self,
+        node,
+        scheme=None,
+        rng=None,
+        get_port=None,
+        signature=None,
+        sealer=None,
+        require_sealed=False,
+        authorized_signatures=None,
+    ):
+        self.node = node
+        self.rng = rng or RandomSource()
+        self.scheme = scheme or XorOneWayScheme()
+        self.get_port = get_port or PrivatePort.generate(self.rng)
+        #: The server's signature secret S; F(S) is published.
+        self.signature = signature or PrivatePort.generate(self.rng)
+        self.put_port = self.get_port.public
+        #: §2.4 software protection: decrypts request capabilities by
+        #: source machine and encrypts reply capabilities by destination.
+        self.sealer = sealer
+        #: When True, plaintext capabilities are refused outright (a
+        #: matrix-protected deployment).
+        self.require_sealed = require_sealed
+        #: Optional sender authentication (§2.2 digital signatures): a set
+        #: of published client images F(S).  When set, requests whose
+        #: signature field is not in the set are refused — and since the
+        #: F-box one-ways the field, only the true owner of S can produce
+        #: a matching value.
+        self.authorized_signatures = (
+            set(authorized_signatures) if authorized_signatures is not None else None
+        )
+        self.table = ObjectTable(self.scheme, self.put_port, self.rng)
+        self._commands = {}
+        self._collect_commands()
+        self._running = False
+        #: Count of requests handled, by opcode (experiment bookkeeping).
+        self.request_counts = {}
+
+    @property
+    def signature_image(self):
+        """F(S), the published verifier for this server's replies."""
+        return self.signature.public
+
+    def _collect_commands(self):
+        for name in dir(type(self)):
+            member = getattr(type(self), name, None)
+            opcode = getattr(member, "_amoeba_command", None)
+            if opcode is None:
+                continue
+            if opcode in self._commands:
+                raise ValueError(
+                    "duplicate handler for opcode %d in %s"
+                    % (opcode, type(self).__name__)
+                )
+            self._commands[opcode] = getattr(self, name)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Enter the GET loop (register the request handler)."""
+        self.node.serve(self.get_port, self._handle_frame)
+        self._running = True
+        return self
+
+    def stop(self):
+        self.node.unlisten(self.get_port)
+        self._running = False
+
+    @property
+    def running(self):
+        return self._running
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_frame(self, frame):
+        request = frame.message
+        self.request_counts[request.command] = (
+            self.request_counts.get(request.command, 0) + 1
+        )
+        try:
+            self._authenticate_sender(request)
+            request = self._unseal_request(frame, request)
+            ctx = RequestContext(self, frame, request)
+            handler = self._commands.get(request.command)
+            if handler is None:
+                raise BadRequest(
+                    "%s does not implement opcode %d"
+                    % (self.service_name, request.command)
+                )
+            reply = handler(ctx)
+            if reply is None:
+                reply = ctx.ok()
+        except AmoebaError as exc:
+            reply = RequestContext(self, frame, request).error(exc)
+        except Exception as exc:
+            # A crashing handler must not take the server loop down; the
+            # client sees a generic server error, the bug stays server-side.
+            reply = RequestContext(self, frame, request).error(
+                AmoebaError("internal error in %s: %s" % (self.service_name, exc))
+            )
+        if self.sealer is not None and (reply.capability or reply.extra_caps):
+            reply = self.sealer.seal_message(reply, frame.src)
+        # Replies are signed: the F-box will transform this secret S into
+        # the published image F(S) on the wire.  The reply is unicast to
+        # the requesting machine (its address came stamped on the frame).
+        reply = reply.copy(signature=as_port(self.signature))
+        self.node.put(reply, dst_machine=frame.src)
+
+    def _authenticate_sender(self, request):
+        if self.authorized_signatures is None:
+            return
+        if request.signature not in self.authorized_signatures:
+            raise SecurityError(
+                "%s requires an authorized client signature" % self.service_name
+            )
+
+    def authorize_client(self, signature_image):
+        """Admit a client by its published signature image F(S)."""
+        if self.authorized_signatures is None:
+            self.authorized_signatures = set()
+        self.authorized_signatures.add(signature_image)
+
+    def sweep(self):
+        """One garbage-collection pass over the object table.
+
+        Objects not proven live (looked up or touched) since the last
+        ``default_lifetime`` sweeps are destroyed through the same
+        :meth:`on_destroy` hook as an explicit STD_DESTROY.
+        """
+        return self.table.age(on_expire=self.on_destroy)
+
+    def _unseal_request(self, frame, request):
+        if request.sealed_caps:
+            if self.sealer is None:
+                raise BadRequest(
+                    "%s is not configured for sealed capabilities"
+                    % self.service_name
+                )
+            return self.sealer.unseal_message(request, frame.src)
+        if self.require_sealed and (
+            request.capability is not None or request.extra_caps
+        ):
+            raise InvalidCapability(
+                "%s only accepts matrix-sealed capabilities" % self.service_name
+            )
+        return request
+
+    # ------------------------------------------------------------------
+    # standard operations (§2.3)
+    # ------------------------------------------------------------------
+
+    @command(stdops.STD_INFO)
+    def _std_info(self, ctx):
+        entry, rights = ctx.lookup()
+        return ctx.ok(data=self.describe(entry).encode("utf-8"))
+
+    @command(stdops.STD_RESTRICT)
+    def _std_restrict(self, ctx):
+        if ctx.capability is None:
+            raise BadRequest("RESTRICT requires a capability")
+        keep_mask = Rights(ctx.request.size & 0xFF)
+        restricted = self.table.restrict(ctx.capability, keep_mask)
+        return ctx.ok(capability=restricted)
+
+    @command(stdops.STD_REFRESH)
+    def _std_refresh(self, ctx):
+        if ctx.capability is None:
+            raise BadRequest("REFRESH requires a capability")
+        fresh = self.table.refresh(ctx.capability, required=self.admin_rights)
+        return ctx.ok(capability=fresh)
+
+    @command(stdops.STD_DESTROY)
+    def _std_destroy(self, ctx):
+        if ctx.capability is None:
+            raise BadRequest("DESTROY requires a capability")
+        entry, _ = self.table.lookup(ctx.capability, self.admin_rights)
+        self.on_destroy(entry)
+        self.table.destroy(ctx.capability, required=self.admin_rights)
+        return ctx.ok()
+
+    @command(stdops.STD_TOUCH)
+    def _std_touch(self, ctx):
+        ctx.lookup()
+        return ctx.ok()
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+
+    def describe(self, entry):
+        """One-line object description for STD_INFO."""
+        return "%s object %d" % (self.service_name, entry.number)
+
+    def on_destroy(self, entry):
+        """Release any resources held by an object about to be destroyed."""
+
+    def __repr__(self):
+        return "%s(port=%012x, objects=%d)" % (
+            type(self).__name__,
+            self.put_port.value,
+            len(self.table),
+        )

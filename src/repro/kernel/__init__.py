@@ -1,0 +1,13 @@
+"""The (minimal) kernel: machines, processes, and the memory server.
+
+The paper's kernel philosophy is "as small as possible": the only kernel
+component that manages objects is the memory server (§3.1), and even it
+"communicates with other processes via the normal message protocol so
+that its clients do not perceive it as being special in any way".
+"""
+
+from repro.kernel.machine import Machine
+from repro.kernel.memory import MemoryClient, MemoryServer
+from repro.kernel.process import Process, ProcessState
+
+__all__ = ["Machine", "MemoryClient", "MemoryServer", "Process", "ProcessState"]

@@ -1,0 +1,16 @@
+"""Network substrate: simulated LAN, F-boxes, NICs, and intruders.
+
+The simulator reproduces the paper's threat model exactly: the wire is a
+broadcast medium an intruder can tap, source addresses are stamped by the
+network and cannot be forged (§2.4's assumption), and every NIC sends and
+receives through an F-box that one-ways the reply and signature ports on
+egress and admits only ports for which a GET was done (§2.2, Fig. 1).
+"""
+
+from repro.net.fbox import FBox
+from repro.net.intruder import Intruder
+from repro.net.message import Message
+from repro.net.network import Frame, SimNetwork
+from repro.net.nic import Nic
+
+__all__ = ["FBox", "Frame", "Intruder", "Message", "Nic", "SimNetwork"]

@@ -1,0 +1,56 @@
+"""The F-box: the one-way transformation between processor and network.
+
+"We assume that somehow or other all messages entering and leaving every
+processor undergo a simple transformation that users cannot bypass."
+(§2.2).  On egress the F-box leaves the destination port alone and applies
+the public one-way function F to the reply and signature fields, so the
+secrets G' and S never reach the wire.  On ingress it admits only messages
+whose destination matches a port for which the processor has done a GET —
+and a GET(X) listens on F(X), which is what defeats an intruder who tries
+GET(P) with a public put-port.
+
+The paper situates the F-box "on the VLSI chip that is used to interface
+to the network" or "inside the wall socket"; here it is a small object the
+simulated NIC is built around, with the same can't-bypass guarantee
+because :class:`~repro.net.nic.Nic` offers no path to the wire around it.
+"""
+
+from repro.core.ports import NULL_PORT, Port
+from repro.crypto.oneway import default_oneway
+
+
+class FBox:
+    """One F-box, shared one-way function F across the whole network."""
+
+    def __init__(self, oneway=None):
+        self._f = oneway or default_oneway()
+
+    def one_way(self, port):
+        """F applied to a single port value (F-box primitive)."""
+        if port.is_null:
+            return NULL_PORT
+        return Port(self._f(port.value))
+
+    def transform_egress(self, message):
+        """The outbound transformation (Fig. 1).
+
+        Destination passes through untouched ("The F-box on the sender's
+        side does not perform any transformation on the P field"); the
+        reply and signature fields are replaced by their one-way images.
+        """
+        return message.copy(
+            reply=self.one_way(message.reply),
+            signature=self.one_way(message.signature),
+        )
+
+    def listen_port(self, get_port):
+        """The wire port a GET(get_port) actually listens on: F(get_port).
+
+        For a genuine server holding the secret G this is the public
+        put-port P = F(G).  For an intruder who only knows P it is the
+        useless port F(P).
+        """
+        return self.one_way(get_port)
+
+    def __repr__(self):
+        return "FBox(F=%r)" % (self._f,)

@@ -1,0 +1,217 @@
+"""The standard Amoeba message format (§2.1, §2.2).
+
+"The standard message format provides a place for one capability in the
+header, typically for the object being operated on ... The header also
+contains room for the operation code and some parameters."  With F-boxes
+the header carries three port fields: destination (P), reply (G' before
+the F-box, F(G') on the wire), and signature (S before, F(S) on).
+
+The binary layout (big-endian) is::
+
+    magic   2  b"AM"
+    version 1
+    flags   1  bit 0 = reply
+    dest    6  put-port
+    reply   6  get-port secret on egress; put-port on the wire
+    signat  6  signature secret on egress; public image on the wire
+    command 2  operation code (request) — echoed in replies
+    status  2  reply status (0 = OK); 0 in requests
+    offset  8  position parameter (file offset, etc.)
+    size    4  size parameter
+    caplen  2  length of the packed capability (0 if none)
+    datalen 4  length of the data part
+    cap     caplen bytes
+    data    datalen bytes
+"""
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.capability import Capability
+from repro.core.ports import NULL_PORT, Port
+from repro.errors import BadRequest
+
+_MAGIC = b"AM"
+_VERSION = 1
+_FLAG_REPLY = 0x01
+#: The capability area holds matrix-encrypted blobs (§2.4), not plaintext.
+_FLAG_SEALED = 0x02
+
+_FIXED = struct.Struct(">2sBB6s6s6sHHQIHI")
+
+#: Serialized size of the fixed header, in bytes.
+HEADER_BYTES = _FIXED.size
+
+
+@dataclass
+class Message:
+    """One request or reply message.
+
+    ``reply`` and ``signature`` hold *secrets* while the message is inside
+    the sending process; the F-box replaces them with their one-way images
+    on egress, so the wire never carries a get-port or signature secret.
+    """
+
+    dest: Port = NULL_PORT
+    reply: Port = NULL_PORT
+    signature: Port = NULL_PORT
+    command: int = 0
+    status: int = 0
+    offset: int = 0
+    size: int = 0
+    capability: Optional[Capability] = None
+    data: bytes = b""
+    is_reply: bool = False
+    #: Extra capabilities travelling in the data field (the paper: "users
+    #: are free to put other capabilities in the data field as required").
+    extra_caps: tuple = field(default_factory=tuple)
+    #: §2.4 software protection: when non-empty, the capability area of
+    #: the wire format carries this encrypted blob instead of plaintext
+    #: capabilities; ``capability`` and ``extra_caps`` must then be empty.
+    sealed_caps: bytes = b""
+
+    def __post_init__(self):
+        if not 0 <= self.command < (1 << 16):
+            raise ValueError("command %d outside u16" % self.command)
+        if not 0 <= self.status < (1 << 16):
+            raise ValueError("status %d outside u16" % self.status)
+        if not 0 <= self.offset < (1 << 64):
+            raise ValueError("offset %d outside u64" % self.offset)
+        if not 0 <= self.size < (1 << 32):
+            raise ValueError("size %d outside u32" % self.size)
+        if isinstance(self.data, str):
+            self.data = self.data.encode("utf-8")
+
+    def pack(self):
+        """Serialise to wire bytes."""
+        flags = _FLAG_REPLY if self.is_reply else 0
+        if self.sealed_caps:
+            if self.capability is not None or self.extra_caps:
+                raise ValueError(
+                    "a sealed message cannot also carry plaintext capabilities"
+                )
+            flags |= _FLAG_SEALED
+            cap_bytes = self.sealed_caps
+        else:
+            cap_bytes = self.capability.pack() if self.capability else b""
+        extra = b"".join(
+            len(c := cap.pack()).to_bytes(2, "big") + c for cap in self.extra_caps
+        )
+        payload = (
+            len(self.extra_caps).to_bytes(1, "big") + extra + self.data
+            if self.extra_caps
+            else b"\x00" + self.data
+        )
+        head = _FIXED.pack(
+            _MAGIC,
+            _VERSION,
+            flags,
+            self.dest.to_bytes(),
+            self.reply.to_bytes(),
+            self.signature.to_bytes(),
+            self.command,
+            self.status,
+            self.offset,
+            self.size,
+            len(cap_bytes),
+            len(payload),
+        )
+        return head + cap_bytes + payload
+
+    @classmethod
+    def unpack(cls, raw):
+        """Parse wire bytes; raises :class:`BadRequest` on framing errors."""
+        if len(raw) < HEADER_BYTES:
+            raise BadRequest("message truncated at %d bytes" % len(raw))
+        (
+            magic,
+            version,
+            flags,
+            dest,
+            reply,
+            signature,
+            command,
+            status,
+            offset,
+            size,
+            caplen,
+            datalen,
+        ) = _FIXED.unpack_from(raw)
+        if magic != _MAGIC:
+            raise BadRequest("bad magic %r" % magic)
+        if version != _VERSION:
+            raise BadRequest("unsupported message version %d" % version)
+        if len(raw) != HEADER_BYTES + caplen + datalen:
+            raise BadRequest(
+                "length mismatch: header says %d, frame is %d"
+                % (HEADER_BYTES + caplen + datalen, len(raw))
+            )
+        cap_bytes = raw[HEADER_BYTES:HEADER_BYTES + caplen]
+        payload = raw[HEADER_BYTES + caplen:]
+        sealed_caps = b""
+        capability = None
+        if flags & _FLAG_SEALED:
+            sealed_caps = bytes(cap_bytes)
+        elif caplen:
+            capability = Capability.unpack(cap_bytes)
+        n_extra = payload[0] if payload else 0
+        pos = 1
+        extra_caps = []
+        for _ in range(n_extra):
+            if pos + 2 > len(payload):
+                raise BadRequest("truncated extra capability list")
+            clen = int.from_bytes(payload[pos:pos + 2], "big")
+            pos += 2
+            if pos + clen > len(payload):
+                raise BadRequest("truncated extra capability")
+            extra_caps.append(Capability.unpack(payload[pos:pos + clen]))
+            pos += clen
+        data = payload[pos:]
+        return cls(
+            dest=Port.from_bytes(dest),
+            reply=Port.from_bytes(reply),
+            signature=Port.from_bytes(signature),
+            command=command,
+            status=status,
+            offset=offset,
+            size=size,
+            capability=capability,
+            data=bytes(data),
+            is_reply=bool(flags & _FLAG_REPLY),
+            extra_caps=tuple(extra_caps),
+            sealed_caps=sealed_caps,
+        )
+
+    def copy(self, **changes):
+        """A (possibly modified) copy — the intruder toolkit's bread and
+        butter, and how the F-box emits transformed messages without
+        mutating the sender's original."""
+        return replace(self, **changes)
+
+    def reply_to(self, **changes):
+        """Build a reply template addressed to this request's reply port.
+
+        The reply port in a received request is already the one-way image
+        F(G'), i.e. a put-port the responder can use directly.
+        """
+        fields = dict(
+            dest=self.reply,
+            reply=NULL_PORT,
+            signature=NULL_PORT,
+            command=self.command,
+            status=0,
+            is_reply=True,
+        )
+        fields.update(changes)
+        return Message(**fields)
+
+    def __repr__(self):
+        kind = "reply" if self.is_reply else "request"
+        return "Message(%s, dest=%012x, cmd=%d, status=%d, %d data bytes)" % (
+            kind,
+            self.dest.value,
+            self.command,
+            self.status,
+            len(self.data),
+        )

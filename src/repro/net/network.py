@@ -1,0 +1,161 @@
+"""A simulated broadcast LAN with unforgeable source addresses.
+
+The 1986 setting is a single Ethernet-style segment: every frame
+physically reaches every station, interface hardware filters by
+destination, and "an intruder can forge nearly all parts of a message
+being sent except the source address, which is supplied by the network
+interface hardware" (§2.4).  The simulator enforces exactly that:
+
+* :meth:`SimNetwork.send` stamps the frame's source with the sending
+  NIC's address — senders cannot choose it;
+* delivery is by destination *port* (the F-box admission check) or, for
+  unicast frames, by (machine, port);
+* registered wiretaps see every frame, reproducing a passive intruder;
+* counters record frames, deliveries, and drops so benchmarks can report
+  message costs (e.g. restrict-via-server = 2 frames vs scheme 3 = 0).
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame as it appears on the wire.
+
+    ``src`` is the network-stamped source machine address.  ``dst_machine``
+    is ``None`` for ordinary port-addressed frames (the hardware filter
+    decides who takes it) and a machine address for located unicasts.
+    """
+
+    src: int
+    dst_machine: Optional[int]
+    message: Message
+
+
+class SimNetwork:
+    """The shared medium connecting every NIC in one simulated system."""
+
+    def __init__(self):
+        self._nics = {}
+        self._addresses = itertools.count(1)
+        self._taps = []
+        self._round_robin = {}
+        # Wire statistics, reset via reset_stats().
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.broadcasts = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def attach(self, nic):
+        """Attach a NIC and assign its (unforgeable) machine address."""
+        address = next(self._addresses)
+        self._nics[address] = nic
+        return address
+
+    def detach(self, address):
+        """Remove a machine from the network (e.g. simulating a crash)."""
+        self._nics.pop(address, None)
+
+    def addresses(self):
+        """Snapshot of attached machine addresses."""
+        return sorted(self._nics)
+
+    # ------------------------------------------------------------------
+    # wire primitives
+    # ------------------------------------------------------------------
+
+    def send(self, src_nic, message, dst_machine=None):
+        """Put one frame on the wire.
+
+        The source address comes from the NIC object itself, never from
+        the caller — this is the §2.4 unforgeability assumption.  Returns
+        True if some NIC accepted the frame.
+        """
+        frame = Frame(src=src_nic.address, dst_machine=dst_machine, message=message)
+        self.frames_sent += 1
+        for tap in self._taps:
+            tap(frame)
+        delivered = self._route(frame)
+        if delivered:
+            self.frames_delivered += 1
+        else:
+            self.frames_dropped += 1
+        return delivered
+
+    def _route(self, frame):
+        if frame.dst_machine is not None:
+            nic = self._nics.get(frame.dst_machine)
+            return bool(nic) and nic.accept(frame)
+        # Port-addressed frame: every station sees it; the admission
+        # filters decide.  If several machines listen on the same port
+        # (a multi-server service), rotate among them like a hardware
+        # arbiter would.
+        takers = [
+            addr
+            for addr, nic in sorted(self._nics.items())
+            if nic.admits(frame.message.dest)
+        ]
+        if not takers:
+            return False
+        start = self._round_robin.get(frame.message.dest, 0)
+        addr = takers[start % len(takers)]
+        self._round_robin[frame.message.dest] = start + 1
+        return self._nics[addr].accept(frame)
+
+    def broadcast(self, src_nic, message):
+        """Deliver a frame to every station's broadcast handler (LOCATE)."""
+        frame = Frame(src=src_nic.address, dst_machine=None, message=message)
+        self.frames_sent += 1
+        self.broadcasts += 1
+        for tap in self._taps:
+            tap(frame)
+        count = 0
+        for addr, nic in sorted(self._nics.items()):
+            if addr != src_nic.address and nic.accept_broadcast(frame):
+                count += 1
+        self.frames_delivered += count
+        return count
+
+    # ------------------------------------------------------------------
+    # intruder instrumentation
+    # ------------------------------------------------------------------
+
+    def add_tap(self, callback):
+        """Register a promiscuous wiretap; it sees every frame verbatim."""
+        self._taps.append(callback)
+
+    def remove_tap(self, callback):
+        self._taps.remove(callback)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def reset_stats(self):
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.broadcasts = 0
+
+    def stats(self):
+        """Current wire counters as a dict (stable keys for benchmarks)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
+            "broadcasts": self.broadcasts,
+        }
+
+    def __repr__(self):
+        return "SimNetwork(machines=%d, frames_sent=%d)" % (
+            len(self._nics),
+            self.frames_sent,
+        )

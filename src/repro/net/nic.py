@@ -1,0 +1,163 @@
+"""The network interface: GET/PUT through an F-box (§2.2).
+
+A :class:`Nic` is one machine's attachment to the wire.  All egress goes
+through :meth:`put`, which always applies the F-box transformation — there
+is deliberately no other way onto the network, reproducing the paper's
+"users cannot bypass" assumption.
+
+Receiving follows the GET model: ``listen(X)`` does what the hardware
+GET(X) does — computes F(X) and admits frames addressed to it.  A genuine
+server passes its secret get-port G and so listens on the public put-port
+P = F(G); an intruder passing P listens on the useless F(P).  Admitted
+frames land in per-port FIFO queues (client replies) or are handed to a
+registered handler (server request loops).
+"""
+
+from collections import deque
+
+from repro.core.ports import as_port
+from repro.net.fbox import FBox
+
+
+class Nic:
+    """One station on a :class:`~repro.net.network.SimNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The shared medium to attach to.
+    fbox:
+        Optionally a specific :class:`FBox` (all boxes on one network must
+        share the same F for ports to interoperate).
+    """
+
+    def __init__(self, network, fbox=None):
+        self.fbox = fbox or FBox()
+        self.network = network
+        self.address = network.attach(self)
+        self._queues = {}
+        self._handlers = {}
+        self._broadcast_handlers = []
+        #: Per-NIC counters (frames in/out) for experiments.
+        self.sent = 0
+        self.received = 0
+
+    # ------------------------------------------------------------------
+    # egress
+    # ------------------------------------------------------------------
+
+    def put(self, message, dst_machine=None):
+        """PUT: transform through the F-box and transmit.
+
+        ``dst_machine`` is used once a port has been located; ``None``
+        sends a port-addressed frame that the admission filters route.
+        """
+        on_wire = self.fbox.transform_egress(message)
+        self.sent += 1
+        return self.network.send(self, on_wire, dst_machine=dst_machine)
+
+    def put_broadcast(self, message):
+        """Broadcast a (transformed) frame to every station — LOCATE etc."""
+        on_wire = self.fbox.transform_egress(message)
+        self.sent += 1
+        return self.network.broadcast(self, on_wire)
+
+    # ------------------------------------------------------------------
+    # ingress: GET registration
+    # ------------------------------------------------------------------
+
+    def listen(self, port):
+        """GET: start admitting frames for F(port); returns that wire port.
+
+        ``port`` is whatever the caller believes is a get-port.  The F-box
+        one-ways it unconditionally, which is precisely why knowing a
+        put-port P does not let anyone receive the server's traffic.
+        """
+        wire_port = self.fbox.listen_port(as_port(port))
+        self._queues.setdefault(wire_port, deque())
+        return wire_port
+
+    def unlisten(self, port):
+        """Withdraw a GET (by the same value passed to :meth:`listen`)."""
+        wire_port = self.fbox.listen_port(as_port(port))
+        self._queues.pop(wire_port, None)
+        self._handlers.pop(wire_port, None)
+
+    def serve(self, port, handler):
+        """GET with a request handler: frames for F(port) invoke
+        ``handler(frame)`` immediately instead of queueing.
+
+        This models a server process blocked in GET; the simulated kernel
+        runs the handler synchronously on delivery.
+        """
+        wire_port = self.fbox.listen_port(as_port(port))
+        self._handlers[wire_port] = handler
+        return wire_port
+
+    def on_broadcast(self, handler):
+        """Add a kernel-level broadcast handler (LOCATE, boot announce...).
+
+        Handlers run in installation order and each sees every broadcast;
+        a handler simply ignores commands that are not for it.
+        """
+        self._broadcast_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    # called by the network
+    # ------------------------------------------------------------------
+
+    def admits(self, port):
+        """Hardware admission filter: do we have a GET outstanding for it?"""
+        return port in self._queues or port in self._handlers
+
+    def accept(self, frame):
+        """Deliver one admitted frame (called only by the network)."""
+        port = frame.message.dest
+        handler = self._handlers.get(port)
+        self.received += 1
+        if handler is not None:
+            handler(frame)
+            return True
+        queue = self._queues.get(port)
+        if queue is None:
+            self.received -= 1
+            return False
+        queue.append(frame)
+        return True
+
+    def accept_broadcast(self, frame):
+        """Deliver a broadcast frame to the kernel handlers, if any."""
+        if not self._broadcast_handlers:
+            return False
+        self.received += 1
+        for handler in list(self._broadcast_handlers):
+            handler(frame)
+        return True
+
+    # ------------------------------------------------------------------
+    # receive side for clients
+    # ------------------------------------------------------------------
+
+    def poll(self, port):
+        """Dequeue the next frame admitted for GET(port), or ``None``.
+
+        ``port`` is the same value passed to :meth:`listen` (the secret),
+        not the wire port.
+        """
+        wire_port = self.fbox.listen_port(as_port(port))
+        queue = self._queues.get(wire_port)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def pending(self, port):
+        """Number of queued frames for GET(port)."""
+        wire_port = self.fbox.listen_port(as_port(port))
+        queue = self._queues.get(wire_port)
+        return len(queue) if queue else 0
+
+    def __repr__(self):
+        return "Nic(address=%d, listening=%d ports)" % (
+            self.address,
+            len(self._queues) + len(self._handlers),
+        )

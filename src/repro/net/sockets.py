@@ -1,0 +1,165 @@
+"""A real UDP transport with the same station API as the simulator.
+
+The reproduction hint for this paper is "hashlib and sockets": everything
+in the library runs over the in-process :class:`~repro.net.network.SimNetwork`
+(where the threat model is explicit and deterministic), and over this
+module's genuine UDP datagrams on localhost, so the RPC layer can be
+exercised end to end across OS processes.
+
+A :class:`SocketNode` mirrors the :class:`~repro.net.nic.Nic` interface —
+``listen`` / ``serve`` / ``put`` / ``poll`` — with the F-box applied in
+software on egress.  The "unforgeable source address" is the UDP source
+address reported by ``recvfrom``; adequate on a loopback interface, and
+the simulator remains the reference for security experiments.
+"""
+
+import queue
+import socket
+import threading
+
+from repro.core.ports import as_port
+from repro.net.fbox import FBox
+from repro.net.message import Message
+
+#: Generous datagram cap: a capability-bearing message is well under 1 KiB,
+#: file transfers chunk themselves beneath this.
+MAX_DATAGRAM = 60000
+
+
+class SocketNode:
+    """One station on a real UDP network."""
+
+    def __init__(self, fbox=None, bind_host="127.0.0.1"):
+        self.fbox = fbox or FBox()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((bind_host, 0))
+        self._sock.settimeout(0.1)
+        self.address = self._sock.getsockname()
+        self._queues = {}
+        self._handlers = {}
+        self._peers = []
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self.sent = 0
+        self.received = 0
+        self._pump = threading.Thread(target=self._pump_loop, daemon=True)
+        self._pump.start()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def connect(self, peer_address):
+        """Add a peer for port-addressed sends (poor man's broadcast)."""
+        with self._lock:
+            if peer_address not in self._peers:
+                self._peers.append(peer_address)
+
+    # ------------------------------------------------------------------
+    # egress
+    # ------------------------------------------------------------------
+
+    def put(self, message, dst_machine=None):
+        """Transform through the F-box and transmit as a UDP datagram.
+
+        With ``dst_machine`` (a ``(host, port)`` pair) the frame is
+        unicast; otherwise it is offered to every connected peer and their
+        admission filters decide — the loopback stand-in for a broadcast
+        segment.
+        """
+        raw = self.fbox.transform_egress(message).pack()
+        if len(raw) > MAX_DATAGRAM:
+            raise ValueError("message of %d bytes exceeds datagram cap" % len(raw))
+        self.sent += 1
+        if dst_machine is not None:
+            self._sock.sendto(raw, dst_machine)
+            return True
+        with self._lock:
+            peers = list(self._peers)
+        for peer in peers:
+            self._sock.sendto(raw, peer)
+        return bool(peers)
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+
+    def listen(self, port):
+        wire_port = self.fbox.listen_port(as_port(port))
+        with self._lock:
+            self._queues.setdefault(wire_port, queue.Queue())
+        return wire_port
+
+    def unlisten(self, port):
+        wire_port = self.fbox.listen_port(as_port(port))
+        with self._lock:
+            self._queues.pop(wire_port, None)
+            self._handlers.pop(wire_port, None)
+
+    def serve(self, port, handler):
+        """Register a request handler; it runs on the pump thread."""
+        wire_port = self.fbox.listen_port(as_port(port))
+        with self._lock:
+            self._handlers[wire_port] = handler
+        return wire_port
+
+    def poll(self, port, timeout=None):
+        """Next admitted frame for GET(port), blocking up to ``timeout``."""
+        wire_port = self.fbox.listen_port(as_port(port))
+        with self._lock:
+            q = self._queues.get(wire_port)
+        if q is None:
+            return None
+        try:
+            return q.get(block=timeout is not None and timeout > 0, timeout=timeout)
+        except queue.Empty:
+            return None
+
+    # ------------------------------------------------------------------
+    # pump thread
+    # ------------------------------------------------------------------
+
+    def _pump_loop(self):
+        from repro.net.network import Frame
+
+        while not self._closed.is_set():
+            try:
+                raw, src = self._sock.recvfrom(MAX_DATAGRAM + 1)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                message = Message.unpack(raw)
+            except Exception:
+                continue  # garbage datagrams are dropped, like hardware would
+            frame = Frame(src=src, dst_machine=None, message=message)
+            with self._lock:
+                handler = self._handlers.get(message.dest)
+                q = self._queues.get(message.dest)
+            if handler is not None:
+                self.received += 1
+                try:
+                    handler(frame)
+                except Exception:
+                    # A crashing server loop must not kill the transport.
+                    continue
+            elif q is not None:
+                self.received += 1
+                q.put(frame)
+            # Frames for ports nobody GETs are dropped silently.
+
+    def close(self):
+        self._closed.set()
+        self._pump.join(timeout=2.0)
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "SocketNode(address=%s:%d)" % self.address

@@ -1,0 +1,34 @@
+"""The Amoeba server suite of §3.
+
+Every server the paper describes, each an ordinary user process built on
+:class:`~repro.ipc.server.ObjectServer`: the block server, the flat file
+server, the directory server, the multiversion file server, the bank
+server, the charging file server that combines the last two (§3.6's
+quota-by-pricing), and the UNIX-like file system facade.
+"""
+
+from repro.servers.bank import BankClient, BankServer
+from repro.servers.block import BlockClient, BlockServer
+from repro.servers.charging import ChargingFlatFileServer
+from repro.servers.directory import DirectoryClient, DirectoryServer, resolve_path
+from repro.servers.flatfile import FlatFileClient, FlatFileServer
+from repro.servers.multiversion import MultiversionClient, MultiversionFileServer
+from repro.servers.sweeper import ReachabilitySweeper
+from repro.servers.unixfs import UnixFs
+
+__all__ = [
+    "BankClient",
+    "BankServer",
+    "BlockClient",
+    "BlockServer",
+    "ChargingFlatFileServer",
+    "DirectoryClient",
+    "DirectoryServer",
+    "FlatFileClient",
+    "FlatFileServer",
+    "MultiversionClient",
+    "MultiversionFileServer",
+    "ReachabilitySweeper",
+    "UnixFs",
+    "resolve_path",
+]

@@ -1,0 +1,180 @@
+"""The directory server (§3.4): (ASCII name, capability) sets.
+
+"The directory server manages directories, each of which is a set of
+(ASCII name, capability) pairs."  Directories map names to *whole
+capabilities*, and the stored capabilities "need not all be file
+capabilities and certainly need not all be located in the same place or
+managed by the same server" — a path walk hops transparently between
+directory servers because each lookup returns a capability whose port
+says where to go next.  :func:`resolve_path` implements that client-side
+walk.
+"""
+
+from repro.core.rights import Rights
+from repro.errors import BadRequest, NameExists, NameNotFound
+from repro.ipc.client import ServiceClient
+from repro.ipc.server import ObjectServer, command
+from repro.ipc.stdops import USER_BASE
+
+R_LOOKUP = 0x01
+R_MODIFY = 0x02
+
+DIR_CREATE = USER_BASE + 0
+DIR_LOOKUP = USER_BASE + 1
+DIR_ENTER = USER_BASE + 2
+DIR_REMOVE = USER_BASE + 3
+DIR_LIST = USER_BASE + 4
+
+#: Longest accepted entry name; generous for 1986.
+MAX_NAME = 255
+
+
+def _check_name(name):
+    if not name:
+        raise BadRequest("directory entry name cannot be empty")
+    if len(name) > MAX_NAME:
+        raise BadRequest("name longer than %d bytes" % MAX_NAME)
+    if "/" in name:
+        raise BadRequest("entry names cannot contain '/'")
+    return name
+
+
+class Directory:
+    """One directory object: an ordered name -> capability map."""
+
+    def __init__(self):
+        self.entries = {}
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class DirectoryServer(ObjectServer):
+    """Lookup, enter, and remove (name, capability) pairs."""
+
+    service_name = "directory server"
+
+    @command(DIR_CREATE)
+    def _create(self, ctx):
+        """Create a fresh empty directory, returning its capability."""
+        cap = self.table.create(Directory())
+        return ctx.ok(capability=cap)
+
+    @command(DIR_LOOKUP)
+    def _lookup(self, ctx):
+        """Look up one name; the stored capability comes back verbatim."""
+        entry, _ = ctx.lookup(Rights(R_LOOKUP))
+        directory = self._as_directory(entry)
+        name = ctx.request.data.decode("utf-8", "replace")
+        try:
+            stored = directory.entries[name]
+        except KeyError:
+            raise NameNotFound("no entry %r in this directory" % name) from None
+        return ctx.ok(capability=stored)
+
+    @command(DIR_ENTER)
+    def _enter(self, ctx):
+        """Enter (name, capability); the capability rides as an extra cap.
+
+        ``size`` non-zero allows replacing an existing entry.
+        """
+        entry, _ = ctx.lookup(Rights(R_MODIFY))
+        directory = self._as_directory(entry)
+        name = _check_name(ctx.request.data.decode("utf-8", "replace"))
+        if not ctx.request.extra_caps:
+            raise BadRequest("ENTER requires the capability to store")
+        if name in directory.entries and not ctx.request.size:
+            raise NameExists("entry %r already exists" % name)
+        directory.entries[name] = ctx.request.extra_caps[0]
+        return ctx.ok()
+
+    @command(DIR_REMOVE)
+    def _remove(self, ctx):
+        entry, _ = ctx.lookup(Rights(R_MODIFY))
+        directory = self._as_directory(entry)
+        name = ctx.request.data.decode("utf-8", "replace")
+        if name not in directory.entries:
+            raise NameNotFound("no entry %r in this directory" % name)
+        del directory.entries[name]
+        return ctx.ok()
+
+    @command(DIR_LIST)
+    def _list(self, ctx):
+        entry, _ = ctx.lookup(Rights(R_LOOKUP))
+        directory = self._as_directory(entry)
+        listing = "\n".join(sorted(directory.entries))
+        return ctx.ok(data=listing.encode("utf-8"), size=len(directory.entries))
+
+    @staticmethod
+    def _as_directory(entry):
+        if not isinstance(entry.data, Directory):
+            raise BadRequest("object %d is not a directory" % entry.number)
+        return entry.data
+
+    def describe(self, entry):
+        return "directory with %d entries" % len(entry.data)
+
+    def create_root(self):
+        """Mint a root directory locally (bootstrap; not a wire operation)."""
+        return self.table.create(Directory())
+
+
+class DirectoryClient(ServiceClient):
+    """Typed client for one directory server."""
+
+    def create_directory(self, parent_cap=None, name=None, overwrite=False):
+        """Create a directory; optionally enter it into a parent."""
+        cap = self.call(DIR_CREATE).capability
+        if parent_cap is not None:
+            if name is None:
+                raise ValueError("a name is required to enter into a parent")
+            self.enter(parent_cap, name, cap, overwrite=overwrite)
+        return cap
+
+    def lookup(self, dir_cap, name):
+        return self.call(
+            DIR_LOOKUP, capability=dir_cap, data=name.encode("utf-8")
+        ).capability
+
+    def enter(self, dir_cap, name, target_cap, overwrite=False):
+        self.call(
+            DIR_ENTER,
+            capability=dir_cap,
+            data=name.encode("utf-8"),
+            extra_caps=(target_cap,),
+            size=1 if overwrite else 0,
+        )
+
+    def remove(self, dir_cap, name):
+        self.call(DIR_REMOVE, capability=dir_cap, data=name.encode("utf-8"))
+
+    def list(self, dir_cap):
+        reply = self.call(DIR_LIST, capability=dir_cap)
+        text = reply.data.decode("utf-8")
+        return text.split("\n") if text else []
+
+
+def resolve_path(node, root_cap, path, rng=None, locator=None, client_factory=None):
+    """Walk ``a/b/c`` from a root directory, hopping servers transparently.
+
+    Each step asks whichever server the *current* capability names — "if
+    the capability returned happens to be for a directory managed by a
+    different directory server, then the ensuing request ... just goes to
+    the new server.  The distribution is completely transparent."
+
+    ``client_factory(port) -> ServiceClient`` may be supplied to reuse
+    configured clients (signatures, sealing); the default builds plain
+    clients per hop.
+    """
+    current = root_cap
+    components = [c for c in path.split("/") if c]
+    for component in components:
+        if client_factory is not None:
+            client = client_factory(current.port)
+        else:
+            client = DirectoryClient(node, current.port, rng=rng, locator=locator)
+        reply = client.call(
+            DIR_LOOKUP, capability=current, data=component.encode("utf-8")
+        )
+        current = reply.capability
+    return current

@@ -1,0 +1,153 @@
+"""The public-key bootstrap protocol (§2.4).
+
+"A public server, such as a file server, makes its put-port and a public
+encryption key known to the whole world.  When a new machine joins the
+network ... it sends a broadcast message announcing its presence."  The
+three-step exchange that follows gives both sides fresh conventional keys
+and proves to the client that it is talking to the true owner of the
+published public key:
+
+1. client C picks a conventional key K and sends it to the server
+   encrypted with the server's public key;
+2. the server decrypts K and replies with (K, K') — K' being the key for
+   reverse traffic — sealed under K itself *and* under the server's
+   private key (a signature, "the inverse of F's public key");
+3. C decrypts with K, verifies the signature with the public key, and
+   checks that its own K is inside.  "If the decrypted message contains
+   K, C can be sure that the other conventional key was indeed generated
+   by the owner of F's public key."
+
+"The use of different conventional keys after each reboot makes it
+impossible for an intruder to fool anyone by playing back old messages" —
+the REPLAY experiment in the benchmarks demonstrates exactly that.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.ports import Port
+from repro.crypto.feistel import WideBlockCipher
+from repro.crypto.publickey import PublicKey
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import SecurityError
+from repro.softprot.matrix import KEY_BYTES
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """What a public server broadcasts at boot: name, put-port, public key."""
+
+    name: str
+    put_port: Port
+    public_key: PublicKey
+
+    def pack(self):
+        key_n = self.public_key.n
+        n_bytes = key_n.to_bytes((key_n.bit_length() + 7) // 8, "big")
+        name_bytes = self.name.encode("utf-8")
+        return (
+            bytes([len(name_bytes)])
+            + name_bytes
+            + self.put_port.to_bytes()
+            + self.public_key.e.to_bytes(4, "big")
+            + len(n_bytes).to_bytes(2, "big")
+            + n_bytes
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < 1:
+            raise SecurityError("truncated announcement")
+        name_len = data[0]
+        pos = 1 + name_len
+        name = data[1:pos].decode("utf-8")
+        port = Port.from_bytes(data[pos:pos + 6])
+        pos += 6
+        e = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        n_len = int.from_bytes(data[pos:pos + 2], "big")
+        pos += 2
+        n = int.from_bytes(data[pos:pos + n_len], "big")
+        return cls(name=name, put_port=port, public_key=PublicKey(n=n, e=e))
+
+
+class BootProtocol:
+    """The three protocol steps as pure functions over bytes.
+
+    Transport-agnostic: the kernel (or a test) moves the byte strings;
+    these functions only construct and check them.
+    """
+
+    @staticmethod
+    def client_offer(server_public_key, rng=None):
+        """Step 1: choose K and seal it with the server's public key.
+
+        Returns ``(offer_bytes, K)``; the client keeps K private.
+        """
+        rng = rng or RandomSource()
+        forward_key = rng.bytes(KEY_BYTES)
+        offer = server_public_key.encrypt(forward_key, rng=rng)
+        return offer, forward_key
+
+    @staticmethod
+    def server_accept(server_keypair, offer, rng=None):
+        """Step 2: recover K, choose K', reply sealed under K and signed.
+
+        Returns ``(reply_bytes, K, K')``.  The server now knows both
+        conventional keys for this client machine.
+        """
+        rng = rng or RandomSource()
+        forward_key = server_keypair.decrypt(offer)
+        if len(forward_key) != KEY_BYTES:
+            raise SecurityError(
+                "offer decrypted to %d bytes, expected a %d-byte key"
+                % (len(forward_key), KEY_BYTES)
+            )
+        reverse_key = rng.bytes(KEY_BYTES)
+        payload = forward_key + reverse_key
+        signature = server_keypair.sign(payload)
+        plaintext = payload + signature
+        reply = WideBlockCipher(forward_key).encrypt(plaintext)
+        return reply, forward_key, reverse_key
+
+    @staticmethod
+    def client_confirm(server_public_key, forward_key, reply):
+        """Step 3: decrypt with K, verify the signature, check K echoes.
+
+        Returns K' on success; raises :class:`SecurityError` if the reply
+        was forged, replayed from an earlier boot, or corrupted.
+        """
+        plaintext = WideBlockCipher(forward_key).decrypt(reply)
+        if len(plaintext) < 2 * KEY_BYTES:
+            raise SecurityError("bootstrap reply too short")
+        payload = plaintext[: 2 * KEY_BYTES]
+        signature = plaintext[2 * KEY_BYTES:]
+        if payload[:KEY_BYTES] != forward_key:
+            raise SecurityError(
+                "bootstrap reply does not echo our key: replay or forgery"
+            )
+        if not server_public_key.verify(payload, signature):
+            raise SecurityError(
+                "bootstrap reply not signed by the announced public key"
+            )
+        return payload[KEY_BYTES: 2 * KEY_BYTES]
+
+
+def establish_matrix_keys(client_view, server_view, server_keypair, rng=None):
+    """Run the whole handshake and install the keys in both matrix views.
+
+    A convenience for tests and experiments: ``client_view`` and
+    ``server_view`` are :class:`~repro.softprot.matrix.MachineKeyView`
+    objects backed by each side's matrix knowledge.
+    """
+    rng = rng or RandomSource()
+    offer, forward = BootProtocol.client_offer(server_keypair.public, rng)
+    reply, forward_s, reverse_s = BootProtocol.server_accept(
+        server_keypair, offer, rng
+    )
+    reverse = BootProtocol.client_confirm(server_keypair.public, forward, reply)
+    client, server = client_view.machine, server_view.machine
+    client_view._matrix.set_key(client, server, forward)
+    client_view._matrix.set_key(server, client, reverse)
+    server_view._matrix.set_key(client, server, forward_s)
+    server_view._matrix.set_key(server, client, reverse_s)
+    return forward, reverse

@@ -1,0 +1,84 @@
+"""Hashed capability caches (§2.4).
+
+"To avoid having to run the encryption/decryption algorithm frequently,
+all machines can maintain a hashed cache of capabilities that they have
+been using frequently.  Clients will hash their caches on the unencrypted
+capabilities in the form of triples: (unencrypted capability, destination,
+encrypted capability), whereas servers will hash theirs in the form of
+triples: (encrypted capability, source, unencrypted capability)."
+
+Both caches below are those triples, stored in bounded LRU maps with
+hit/miss counters the MATRIX experiment reports.
+"""
+
+from collections import OrderedDict
+
+
+class LruCache:
+    """A bounded least-recently-used map with hit/miss accounting."""
+
+    def __init__(self, max_entries=1024):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """Return the cached value or ``None``, updating recency."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        self._entries.clear()
+
+    def __repr__(self):
+        return "LruCache(%d/%d entries, %.0f%% hits)" % (
+            len(self._entries),
+            self.max_entries,
+            100 * self.hit_rate,
+        )
+
+
+class ClientCapabilityCache(LruCache):
+    """Client triples: (unencrypted capability, destination) -> sealed bytes."""
+
+    def lookup(self, capability, destination):
+        return self.get((capability, destination))
+
+    def remember(self, capability, destination, sealed):
+        self.put((capability, destination), sealed)
+
+
+class ServerCapabilityCache(LruCache):
+    """Server triples: (sealed bytes, source) -> unencrypted capability."""
+
+    def lookup(self, sealed, source):
+        return self.get((sealed, source))
+
+    def remember(self, sealed, source, capability):
+        self.put((sealed, source), capability)

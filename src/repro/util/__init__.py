@@ -1,0 +1,17 @@
+"""Small shared utilities (bit packing, constant-time comparison)."""
+
+from repro.util.bits import (
+    bytes_to_int,
+    constant_time_eq,
+    int_to_bytes,
+    mask,
+    xor_bytes,
+)
+
+__all__ = [
+    "bytes_to_int",
+    "constant_time_eq",
+    "int_to_bytes",
+    "mask",
+    "xor_bytes",
+]

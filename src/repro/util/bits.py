@@ -1,0 +1,62 @@
+"""Bit and byte manipulation helpers used across the capability machinery.
+
+All wire formats in this reproduction are big-endian, matching the fixed
+field layout of the paper's Fig. 2 (48-bit port, 24-bit object, 8-bit
+rights, 48-bit check field).
+"""
+
+import hmac
+
+
+def mask(bits):
+    """Return an integer with the low ``bits`` bits set.
+
+    >>> mask(8)
+    255
+    >>> mask(0)
+    0
+    """
+    if bits < 0:
+        raise ValueError("bit width must be non-negative, got %d" % bits)
+    return (1 << bits) - 1
+
+
+def int_to_bytes(value, length):
+    """Pack a non-negative integer into exactly ``length`` big-endian bytes.
+
+    Raises ``ValueError`` if the value does not fit (a truncating pack would
+    silently weaken a check field, so overflow is always an error).
+    """
+    if value < 0:
+        raise ValueError("cannot pack negative value %d" % value)
+    if value >> (8 * length):
+        raise ValueError(
+            "value %#x does not fit in %d bytes" % (value, length)
+        )
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data):
+    """Unpack big-endian bytes into a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def xor_bytes(a, b):
+    """XOR two equal-length byte strings.
+
+    Used by the XOR-one-way rights scheme and the Feistel round mixing.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            "xor_bytes requires equal lengths, got %d and %d" % (len(a), len(b))
+        )
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def constant_time_eq(a, b):
+    """Compare two byte strings without leaking a timing side channel.
+
+    Capability check fields are sparse secrets: a naive early-exit compare
+    would let an intruder grow a valid check field byte by byte.
+    """
+    return hmac.compare_digest(a, b)

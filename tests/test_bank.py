@@ -1,0 +1,187 @@
+"""Tests for the bank server (§3.6): transfers, currencies, conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import (
+    BadRequest,
+    InconvertibleCurrency,
+    InsufficientFunds,
+    InvalidCapability,
+    PermissionDenied,
+    UnknownCurrency,
+)
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+from repro.servers.bank import (
+    BANK_TRANSFER,
+    R_DEPOSIT,
+    R_INSPECT,
+    R_WITHDRAW,
+    BankClient,
+    BankServer,
+)
+
+
+@pytest.fixture
+def world():
+    net = SimNetwork()
+    server = BankServer(
+        Nic(net),
+        exchange_rates={("USD", "FRF"): (7, 1), ("FRF", "USD"): (1, 7)},
+        rng=RandomSource(seed=1),
+    ).start()
+    client = BankClient(
+        Nic(net),
+        server.put_port,
+        rng=RandomSource(seed=2),
+        expect_signature=server.signature_image,
+    )
+    central = server.create_account({"USD": 10_000}, mint_right=True)
+    return net, server, client, central
+
+
+class TestAccounts:
+    def test_open_account_empty(self, world):
+        _, _, client, _ = world
+        account = client.open_account()
+        assert client.balance(account) == {}
+
+    def test_opened_accounts_cannot_mint(self, world):
+        _, _, client, _ = world
+        account = client.open_account()
+        with pytest.raises(PermissionDenied):
+            client.mint(account, "USD", 100)
+
+    def test_central_bank_mints(self, world):
+        _, _, client, central = world
+        client.mint(central, "YEN", 5000)
+        assert client.balance(central)["YEN"] == 5000
+
+
+class TestTransfers:
+    def test_transfer_moves_money(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 250)
+        assert client.balance(alice) == {"USD": 250}
+        assert client.balance(central)["USD"] == 9_750
+
+    def test_insufficient_funds(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 10)
+        with pytest.raises(InsufficientFunds):
+            client.transfer(alice, central, "USD", 11)
+        assert client.balance(alice) == {"USD": 10}  # unchanged
+
+    def test_unknown_currency(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        with pytest.raises(UnknownCurrency):
+            client.transfer(alice, central, "BTC", 1)
+
+    def test_amount_validation(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        for bad in ("USD:0", "USD:-5", "USD:x", "USD", ":5"):
+            with pytest.raises(BadRequest):
+                client.call(
+                    BANK_TRANSFER,
+                    capability=central,
+                    extra_caps=(alice,),
+                    data=bad.encode(),
+                )
+
+    def test_payee_must_be_at_this_bank(self, world):
+        net, server, client, central = world
+        other_bank = BankServer(Nic(net), rng=RandomSource(seed=3)).start()
+        foreign = other_bank.create_account()
+        with pytest.raises(InvalidCapability):
+            client.transfer(central, foreign, "USD", 1)
+
+
+class TestRightsAsPolicy:
+    def test_withdraw_needs_withdraw_right(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 100)
+        inspect_only = client.restrict(alice, R_INSPECT)
+        with pytest.raises(PermissionDenied):
+            client.transfer(inspect_only, central, "USD", 1)
+
+    def test_deposit_only_capability_for_merchants(self, world):
+        """Hand a server a deposit-only capability: it can receive your
+        payment but never pull more."""
+        _, _, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 100)
+        deposit_only = client.restrict(alice, R_DEPOSIT)
+        client.transfer(central, deposit_only, "USD", 5)  # deposits fine
+        with pytest.raises(PermissionDenied):
+            client.transfer(deposit_only, central, "USD", 1)
+
+    def test_balance_needs_inspect(self, world):
+        _, _, client, central = world
+        alice = client.open_account()
+        blind = client.restrict(alice, R_WITHDRAW)
+        with pytest.raises(PermissionDenied):
+            client.balance(blind)
+
+
+class TestCurrencies:
+    def test_convert_at_rate(self, world):
+        """'CPU time could be charged in francs' — 7 FRF to the dollar."""
+        _, _, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 100)
+        got = client.convert(alice, "USD", "FRF", 10)
+        assert got == 70
+        assert client.balance(alice) == {"USD": 90, "FRF": 70}
+
+    def test_inconvertible_pair(self, world):
+        _, _, client, central = world
+        client.mint(central, "YEN", 100)
+        with pytest.raises(InconvertibleCurrency):
+            client.convert(central, "YEN", "USD", 10)
+
+    def test_separate_currencies_separate_quotas(self, world):
+        _, _, client, central = world
+        client.mint(central, "YEN", 3)
+        alice = client.open_account()
+        client.transfer(central, alice, "YEN", 3)
+        client.transfer(central, alice, "USD", 100)
+        # Yen exhaustion does not touch dollars.
+        with pytest.raises(InsufficientFunds):
+            client.transfer(alice, central, "YEN", 4)
+        client.transfer(alice, central, "USD", 100)
+
+
+class TestConservation:
+    """Virtual money is conserved: transfers never create or destroy it."""
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_random_transfer_sequences_conserve_total(self, amounts):
+        net = SimNetwork()
+        server = BankServer(Nic(net), rng=RandomSource(seed=4)).start()
+        client = BankClient(Nic(net), server.put_port, rng=RandomSource(seed=5))
+        accounts = [server.create_account({"USD": 100}) for _ in range(3)]
+        rng = RandomSource(seed=6)
+        for i, amount in enumerate(amounts):
+            payer = accounts[i % 3]
+            payee = accounts[(i + 1) % 3]
+            try:
+                client.transfer(payer, payee, "USD", amount)
+            except InsufficientFunds:
+                pass
+            assert server.total_in_circulation("USD") == 300
+
+    def test_minted_equals_circulation(self, world):
+        _, server, client, central = world
+        alice = client.open_account()
+        client.transfer(central, alice, "USD", 123)
+        client.mint(central, "USD", 77)
+        assert server.total_in_circulation("USD") == server.minted["USD"]

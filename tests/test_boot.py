@@ -1,0 +1,114 @@
+"""Tests for the §2.4 public-key bootstrap protocol."""
+
+import pytest
+
+from repro.core.ports import Port
+from repro.crypto.publickey import generate_keypair
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import SecurityError
+from repro.softprot.boot import Announcement, BootProtocol, establish_matrix_keys
+from repro.softprot.matrix import KEY_BYTES, KeyMatrix
+
+
+@pytest.fixture(scope="module")
+def server_keys():
+    return generate_keypair(bits=512, rng=RandomSource(seed=31337))
+
+
+class TestHandshake:
+    def test_full_exchange(self, server_keys):
+        rng = RandomSource(seed=1)
+        offer, forward = BootProtocol.client_offer(server_keys.public, rng)
+        reply, forward_s, reverse_s = BootProtocol.server_accept(
+            server_keys, offer, rng
+        )
+        assert forward_s == forward
+        reverse = BootProtocol.client_confirm(server_keys.public, forward, reply)
+        assert reverse == reverse_s
+        assert len(forward) == len(reverse) == KEY_BYTES
+        assert forward != reverse
+
+    def test_keys_fresh_per_run(self, server_keys):
+        rng = RandomSource(seed=2)
+        offer_a, key_a = BootProtocol.client_offer(server_keys.public, rng)
+        offer_b, key_b = BootProtocol.client_offer(server_keys.public, rng)
+        assert key_a != key_b
+        assert offer_a != offer_b
+
+
+class TestAttacks:
+    def test_reply_from_impostor_rejected(self, server_keys):
+        """An impostor broadcasting the server's identity cannot complete
+        the handshake without the private key."""
+        rng = RandomSource(seed=3)
+        impostor = generate_keypair(bits=512, rng=RandomSource(seed=666))
+        offer, forward = BootProtocol.client_offer(server_keys.public, rng)
+        # The impostor cannot decrypt the offer with the real private key;
+        # suppose it somehow guessed K and replies signed with ITS key.
+        reply, _, _ = BootProtocol.server_accept(
+            impostor, impostor.public.encrypt(forward, rng=rng), rng
+        )
+        with pytest.raises(SecurityError):
+            BootProtocol.client_confirm(server_keys.public, forward, reply)
+
+    def test_replayed_old_session_rejected(self, server_keys):
+        """'The use of different conventional keys after each reboot makes
+        it impossible for an intruder to fool anyone by playing back old
+        messages.'"""
+        rng = RandomSource(seed=4)
+        # Session one: intruder records the server's reply.
+        offer1, forward1 = BootProtocol.client_offer(server_keys.public, rng)
+        old_reply, _, _ = BootProtocol.server_accept(server_keys, offer1, rng)
+        # Session two (after reboot): client picks a fresh K...
+        offer2, forward2 = BootProtocol.client_offer(server_keys.public, rng)
+        # ...and the replayed old reply does not contain the fresh K.
+        with pytest.raises(SecurityError):
+            BootProtocol.client_confirm(server_keys.public, forward2, old_reply)
+
+    def test_tampered_reply_rejected(self, server_keys):
+        rng = RandomSource(seed=5)
+        offer, forward = BootProtocol.client_offer(server_keys.public, rng)
+        reply, _, _ = BootProtocol.server_accept(server_keys, offer, rng)
+        tampered = bytearray(reply)
+        tampered[-1] ^= 0x01
+        with pytest.raises(SecurityError):
+            BootProtocol.client_confirm(
+                server_keys.public, forward, bytes(tampered)
+            )
+
+    def test_garbage_offer_rejected(self, server_keys):
+        with pytest.raises(SecurityError):
+            BootProtocol.server_accept(
+                server_keys,
+                server_keys.public.encrypt(b"not a key", rng=RandomSource(seed=6)),
+                RandomSource(seed=6),
+            )
+
+
+class TestMatrixIntegration:
+    def test_establish_matrix_keys(self, server_keys):
+        client_matrix = KeyMatrix(rng=RandomSource(seed=7))
+        server_matrix = KeyMatrix(rng=RandomSource(seed=8))
+        forward, reverse = establish_matrix_keys(
+            client_matrix.view(1),
+            server_matrix.view(2),
+            server_keys,
+            rng=RandomSource(seed=9),
+        )
+        # Both sides now agree on both directions.
+        assert client_matrix.key(1, 2) == server_matrix.key(1, 2) == forward
+        assert client_matrix.key(2, 1) == server_matrix.key(2, 1) == reverse
+
+
+class TestAnnouncement:
+    def test_pack_unpack(self, server_keys):
+        ann = Announcement(
+            name="file server",
+            put_port=Port(0xF17E5E24E2),
+            public_key=server_keys.public,
+        )
+        assert Announcement.unpack(ann.pack()) == ann
+
+    def test_truncated_rejected(self):
+        with pytest.raises((SecurityError, Exception)):
+            Announcement.unpack(b"")

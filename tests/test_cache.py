@@ -1,0 +1,100 @@
+"""Tests for the LRU capability caches of §2.4."""
+
+from repro.core.capability import Capability
+from repro.core.ports import Port
+from repro.core.rights import Rights
+from repro.softprot.cache import (
+    ClientCapabilityCache,
+    LruCache,
+    ServerCapabilityCache,
+)
+
+
+def cap(n):
+    return Capability(
+        port=Port(1), object=n, rights=Rights(0xFF), check=bytes([n]) * 6
+    )
+
+
+class TestLruCache:
+    def test_get_put(self):
+        cache = LruCache(max_entries=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+
+    def test_eviction_order(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_hit_rate(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert LruCache().hit_rate == 0.0
+
+    def test_overwrite(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_contains(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+
+    def test_clear(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_min_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LruCache(max_entries=0)
+
+
+class TestCapabilityCaches:
+    def test_client_triples(self):
+        # (unencrypted capability, destination) -> encrypted capability
+        cache = ClientCapabilityCache()
+        cache.remember(cap(1), 7, b"sealed-bytes")
+        assert cache.lookup(cap(1), 7) == b"sealed-bytes"
+        assert cache.lookup(cap(1), 8) is None
+        assert cache.lookup(cap(2), 7) is None
+
+    def test_server_triples(self):
+        # (encrypted capability, source) -> unencrypted capability
+        cache = ServerCapabilityCache()
+        cache.remember(b"sealed", 3, cap(1))
+        assert cache.lookup(b"sealed", 3) == cap(1)
+        assert cache.lookup(b"sealed", 4) is None
+
+    def test_same_capability_different_destinations(self):
+        cache = ClientCapabilityCache()
+        cache.remember(cap(1), 7, b"for-7")
+        cache.remember(cap(1), 8, b"for-8")
+        assert cache.lookup(cap(1), 7) == b"for-7"
+        assert cache.lookup(cap(1), 8) == b"for-8"

@@ -1,0 +1,61 @@
+"""Tests for the error hierarchy and its wire status codes."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_capability_errors_are_amoeba_errors(self):
+        assert issubclass(errors.InvalidCapability, errors.CapabilityError)
+        assert issubclass(errors.CapabilityError, errors.AmoebaError)
+
+    def test_server_errors_are_amoeba_errors(self):
+        for cls in (
+            errors.OutOfSpace,
+            errors.NameNotFound,
+            errors.VersionConflict,
+            errors.InsufficientFunds,
+            errors.WriteOnceViolation,
+        ):
+            assert issubclass(cls, errors.ServerError)
+
+    def test_rpc_errors(self):
+        assert issubclass(errors.RPCTimeout, errors.RPCError)
+        assert issubclass(errors.PortNotLocated, errors.RPCError)
+
+
+class TestWireCodes:
+    def test_codes_are_unique(self):
+        classes = {
+            cls
+            for cls in vars(errors).values()
+            if isinstance(cls, type) and issubclass(cls, errors.AmoebaError)
+        }
+        codes = [cls.code for cls in classes]
+        assert len(codes) == len(set(codes))
+
+    def test_ok_is_zero_and_not_an_error_code(self):
+        assert errors.STATUS_OK == 0
+        assert errors.code_to_error(errors.AmoebaError.code) is not None
+
+    def test_roundtrip_every_error(self):
+        for cls in vars(errors).values():
+            if not (isinstance(cls, type) and issubclass(cls, errors.AmoebaError)):
+                continue
+            exc = cls("context message")
+            code = errors.error_to_code(exc)
+            back = errors.code_to_error(code, "context message")
+            assert type(back) is cls
+            assert "context message" in str(back)
+
+    def test_unknown_code_maps_to_base_error(self):
+        exc = errors.code_to_error(9999, "future error")
+        assert type(exc) is errors.AmoebaError
+
+    def test_non_amoeba_exception_maps_to_base_code(self):
+        assert errors.error_to_code(ValueError("x")) == errors.AmoebaError.code
+
+    def test_errors_raiseable_and_catchable_as_base(self):
+        with pytest.raises(errors.AmoebaError):
+            raise errors.InsufficientFunds("broke")

@@ -1,0 +1,95 @@
+"""Tests for LOCATE broadcasts and the (port, machine) cache."""
+
+import pytest
+
+from repro.core.ports import Port, PrivatePort
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import PortNotLocated
+from repro.ipc.locate import Locator, install_locate_responder
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+
+
+@pytest.fixture
+def world():
+    net = SimNetwork()
+    server_nic = Nic(net)
+    install_locate_responder(server_nic)
+    g = PrivatePort(1234)
+    wire = server_nic.listen(g)
+    client_nic = Nic(net)
+    locator = Locator(client_nic, rng=RandomSource(seed=1))
+    return net, server_nic, wire, locator
+
+
+class TestLocate:
+    def test_finds_the_serving_machine(self, world):
+        _, server_nic, wire, locator = world
+        assert locator.locate(wire) == server_nic.address
+
+    def test_miss_then_hit(self, world):
+        net, server_nic, wire, locator = world
+        locator.locate(wire)
+        broadcasts_after_miss = net.broadcasts
+        locator.locate(wire)
+        assert net.broadcasts == broadcasts_after_miss  # cache hit: no wire
+        assert locator.hits == 1 and locator.misses == 1
+
+    def test_unknown_port_raises(self, world):
+        _, _, _, locator = world
+        with pytest.raises(PortNotLocated):
+            locator.locate(Port(0xDEAD), timeout=0.05)
+
+    def test_invalidate_forces_rebroadcast(self, world):
+        net, _, wire, locator = world
+        locator.locate(wire)
+        locator.invalidate(wire)
+        before = net.broadcasts
+        locator.locate(wire)
+        assert net.broadcasts == before + 1
+
+    def test_multiple_services_located_independently(self, world):
+        net, server_nic, wire, locator = world
+        other_nic = Nic(net)
+        install_locate_responder(other_nic)
+        g2 = PrivatePort(5678)
+        wire2 = other_nic.listen(g2)
+        assert locator.locate(wire) == server_nic.address
+        assert locator.locate(wire2) == other_nic.address
+
+    def test_responder_ignores_ports_it_does_not_serve(self, world):
+        net, server_nic, wire, locator = world
+        # A second machine with a responder but not serving the port must
+        # not answer for it.
+        bystander = Nic(net)
+        install_locate_responder(bystander)
+        assert locator.locate(wire) == server_nic.address
+
+    def test_responder_ignores_non_locate_broadcasts(self, world):
+        from repro.net.message import Message
+
+        net, server_nic, _, _ = world
+        sender = Nic(net)
+        # Nothing should blow up; the handler just ignores it.
+        sender.put_broadcast(Message(command=999, data=b"noise"))
+
+
+class TestLocatedUnicast:
+    def test_located_rpc_is_unicast(self, world):
+        from repro.ipc.rpc import trans
+        from repro.net.message import Message
+
+        net, server_nic, wire, locator = world
+        # Replace the listen-queue with an echoing handler.
+        g = PrivatePort(1234)
+        server_nic.serve(g, lambda f: server_nic.put(f.message.reply_to()))
+        client_nic = locator.node
+        machine = locator.locate(wire)
+        reply = trans(
+            client_nic,
+            wire,
+            Message(),
+            rng=RandomSource(seed=2),
+            dst_machine=machine,
+        )
+        assert reply.is_reply

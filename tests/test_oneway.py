@@ -1,0 +1,105 @@
+"""Tests for the one-way function F (ports, signatures, check fields)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.oneway import PORT_BITS, OneWayFunction, default_oneway
+
+port_values = st.integers(min_value=0, max_value=(1 << PORT_BITS) - 1)
+
+
+class TestBasics:
+    def test_deterministic(self):
+        f = OneWayFunction()
+        assert f(12345) == f(12345)
+
+    def test_output_width(self):
+        f = OneWayFunction(width_bits=48)
+        for value in (0, 1, (1 << 48) - 1):
+            assert 0 <= f(value) < (1 << 48)
+
+    def test_domain_checked(self):
+        f = OneWayFunction(width_bits=8)
+        with pytest.raises(ValueError):
+            f(256)
+        with pytest.raises(ValueError):
+            f(-1)
+
+    def test_default_is_shared_instance(self):
+        assert default_oneway() is default_oneway()
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            OneWayFunction(width_bits=0)
+        with pytest.raises(ValueError):
+            OneWayFunction(width_bits=257)
+
+
+class TestDomainSeparation:
+    def test_different_tags_differ(self):
+        # The port F and the rights-scheme F must never collide: a check
+        # field should not be usable as a put-port.
+        f_ports = OneWayFunction(tag=b"amoeba/F")
+        f_rights = OneWayFunction(tag=b"amoeba/rights")
+        collisions = sum(1 for v in range(200) if f_ports(v) == f_rights(v))
+        assert collisions == 0
+
+    def test_string_tags_accepted(self):
+        assert OneWayFunction(tag="text")(1) == OneWayFunction(tag=b"text")(1)
+
+
+class TestOneWayness:
+    """F can't literally be proven one-way in a test, but the cheap
+    necessary conditions can: no fixed points in practice, no obvious
+    structure, full use of the output space."""
+
+    @given(port_values)
+    def test_no_trivial_fixed_points(self, value):
+        f = default_oneway()
+        # A fixed point would make GET(P) listen on P itself, breaking
+        # the impersonation defence for that port.  One exists with
+        # probability ~2**-48 per input; hypothesis will never find one
+        # unless F is structurally broken.
+        assert f(value) != value
+
+    def test_iterating_f_walks_the_space(self):
+        f = default_oneway()
+        seen = set()
+        value = 1
+        for _ in range(100):
+            value = f(value)
+            seen.add(value)
+        assert len(seen) == 100
+
+    def test_avalanche(self):
+        f = default_oneway()
+        base = f(0x123456789ABC)
+        flipped = f(0x123456789ABD)  # one input bit apart
+        differing = bin(base ^ flipped).count("1")
+        assert differing >= 10  # ~24 expected of 48
+
+    @given(port_values, port_values)
+    def test_injective_in_practice(self, a, b):
+        f = default_oneway()
+        if a != b:
+            assert f(a) != f(b)
+
+
+class TestApplyBytes:
+    def test_width_and_determinism(self):
+        f = OneWayFunction()
+        out = f.apply_bytes(b"boot announcement")
+        assert len(out) == 6
+        assert out == f.apply_bytes(b"boot announcement")
+
+    def test_distinct_from_int_domain(self):
+        # The bytes interface is domain-separated from the int interface.
+        f = OneWayFunction(width_bits=48)
+        as_int = f(0)
+        as_bytes = int.from_bytes(f.apply_bytes(b"\x00" * 6), "big")
+        assert as_int != as_bytes
+
+    def test_string_input(self):
+        f = OneWayFunction()
+        assert f.apply_bytes("text") == f.apply_bytes(b"text")

@@ -1,0 +1,91 @@
+"""Tests for ports and the get/put relationship P = F(G)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ports import NULL_PORT, Port, PrivatePort, as_port
+from repro.crypto.oneway import default_oneway
+from repro.crypto.randomsrc import RandomSource
+
+port_values = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestPort:
+    @given(port_values)
+    def test_bytes_roundtrip(self, value):
+        port = Port(value)
+        assert Port.from_bytes(port.to_bytes()) == port
+
+    def test_wire_width(self):
+        assert len(Port(0).to_bytes()) == 6
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Port(1 << 48)
+        with pytest.raises(ValueError):
+            Port(-1)
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            Port.from_bytes(b"\x00" * 5)
+
+    def test_null(self):
+        assert NULL_PORT.is_null
+        assert not Port(1).is_null
+
+    def test_random_ports_distinct(self):
+        rng = RandomSource(seed=1)
+        ports = {Port.random(rng) for _ in range(100)}
+        assert len(ports) == 100
+
+    def test_hashable_and_ordered(self):
+        assert Port(1) < Port(2)
+        assert len({Port(1), Port(1), Port(2)}) == 2
+
+
+class TestPrivatePort:
+    def test_public_is_f_of_secret(self):
+        private = PrivatePort(12345)
+        assert private.public == Port(default_oneway()(12345))
+
+    def test_generate_uses_rng(self):
+        a = PrivatePort.generate(RandomSource(seed=5))
+        b = PrivatePort.generate(RandomSource(seed=5))
+        assert a == b
+        assert a.public == b.public
+
+    def test_distinct_secrets_distinct_publics(self):
+        rng = RandomSource(seed=6)
+        pairs = [PrivatePort.generate(rng) for _ in range(50)]
+        assert len({p.public for p in pairs}) == 50
+
+    def test_repr_never_leaks_secret(self):
+        # "The get-port is kept secret" — not even in logs.
+        private = PrivatePort(0xDEADBEEF0123)
+        assert "deadbeef0123" not in repr(private).lower()
+        assert "%x" % private.secret not in repr(private).lower()
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            PrivatePort(1 << 48)
+
+
+class TestAsPort:
+    def test_port_passthrough(self):
+        p = Port(7)
+        assert as_port(p) is p
+
+    def test_int_coerces(self):
+        assert as_port(7) == Port(7)
+
+    def test_private_coerces_to_secret(self):
+        # A PrivatePort in a header field must carry the *secret*: the
+        # F-box applies F on egress, nothing else may.
+        private = PrivatePort(99)
+        assert as_port(private) == Port(99)
+        assert as_port(private) != private.public
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_port("not a port")

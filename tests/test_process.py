@@ -1,0 +1,66 @@
+"""Tests for the process state machine (§3.1)."""
+
+import pytest
+
+from repro.errors import ProcessStateError
+from repro.kernel.process import Process, ProcessState
+
+
+class TestLifecycle:
+    def test_starts_stopped(self):
+        p = Process("init", {})
+        assert p.state is ProcessState.STOPPED
+        assert p.runs == 0
+
+    def test_start_stop(self):
+        p = Process("worker", {"seg0": 1})
+        p.start()
+        assert p.state is ProcessState.RUNNING
+        assert p.runs == 1
+        p.stop()
+        assert p.state is ProcessState.STOPPED
+
+    def test_double_start_refused(self):
+        p = Process("w", {})
+        p.start()
+        with pytest.raises(ProcessStateError):
+            p.start()
+
+    def test_stop_when_stopped_refused(self):
+        p = Process("w", {})
+        with pytest.raises(ProcessStateError):
+            p.stop()
+
+    def test_kill_is_final(self):
+        p = Process("w", {})
+        p.kill()
+        assert p.state is ProcessState.DEAD
+        with pytest.raises(ProcessStateError):
+            p.start()
+        p.kill()  # idempotent
+
+    def test_restart_counts_runs(self):
+        p = Process("w", {})
+        for _ in range(3):
+            p.start()
+            p.stop()
+        assert p.runs == 3
+
+
+class TestProgram:
+    def test_program_invoked_with_reader(self):
+        observed = {}
+
+        def program(process, segment_reader):
+            observed["name"] = process.name
+            observed["text"] = segment_reader(process.segments["seg0"])
+
+        p = Process("prog", {"seg0": 42}, program=program)
+        p.start(segment_reader=lambda n: b"segment %d" % n)
+        assert observed == {"name": "prog", "text": b"segment 42"}
+
+    def test_segments_copied(self):
+        segs = {"seg0": 1}
+        p = Process("w", segs)
+        segs["seg1"] = 2
+        assert "seg1" not in p.segments

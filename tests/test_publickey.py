@@ -1,0 +1,114 @@
+"""Tests for the RSA substrate behind the §2.4 bootstrap protocol."""
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.publickey import generate_keypair
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import SecurityError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    # One keypair for the whole module: pure-Python keygen is the slow part.
+    return generate_keypair(bits=512, rng=RandomSource(seed=2024))
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        rng = RandomSource(seed=1)
+        for p in (2, 3, 5, 7, 97, 7919, 2**31 - 1):
+            assert is_probable_prime(p, rng)
+
+    def test_known_composites(self):
+        rng = RandomSource(seed=1)
+        for n in (0, 1, 4, 100, 561, 41041, 2**32):  # incl. Carmichaels
+            assert not is_probable_prime(n, rng)
+
+    def test_generate_prime_size(self):
+        rng = RandomSource(seed=3)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p, rng)
+
+    def test_generate_prime_avoids_divisors(self):
+        rng = RandomSource(seed=4)
+        p = generate_prime(64, rng, avoid_divisors_of_p_minus_1=(3, 5, 7))
+        assert all((p - 1) % e for e in (3, 5, 7))
+
+    def test_tiny_prime_refused(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, RandomSource(seed=1))
+
+
+class TestEncryption:
+    def test_roundtrip(self, keypair):
+        rng = RandomSource(seed=5)
+        message = b"a 16-byte DES key"
+        ct = keypair.public.encrypt(message, rng=rng)
+        assert keypair.decrypt(ct) == message
+
+    def test_randomised_padding(self, keypair):
+        # Two encryptions of the same message must differ, or replay
+        # detection by ciphertext comparison becomes possible.
+        rng = RandomSource(seed=6)
+        a = keypair.public.encrypt(b"key", rng=rng)
+        b = keypair.public.encrypt(b"key", rng=rng)
+        assert a != b
+        assert keypair.decrypt(a) == keypair.decrypt(b) == b"key"
+
+    def test_message_too_long(self, keypair):
+        limit = keypair.public.modulus_bytes - 11
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(b"x" * (limit + 1))
+
+    def test_tampered_ciphertext_rejected_or_garbled(self, keypair):
+        rng = RandomSource(seed=7)
+        ct = bytearray(keypair.public.encrypt(b"secret key bytes", rng=rng))
+        ct[5] ^= 0x40
+        try:
+            recovered = keypair.decrypt(bytes(ct))
+        except SecurityError:
+            return  # padding destroyed: the expected outcome
+        assert recovered != b"secret key bytes"
+
+    def test_wrong_length_ciphertext(self, keypair):
+        with pytest.raises(SecurityError):
+            keypair.decrypt(b"short")
+
+
+class TestSignatures:
+    def test_sign_verify(self, keypair):
+        sig = keypair.sign(b"K || K' payload")
+        assert keypair.public.verify(b"K || K' payload", sig)
+
+    def test_wrong_message_fails(self, keypair):
+        sig = keypair.sign(b"original")
+        assert not keypair.public.verify(b"forged", sig)
+
+    def test_tampered_signature_fails(self, keypair):
+        sig = bytearray(keypair.sign(b"message"))
+        sig[0] ^= 1
+        assert not keypair.public.verify(b"message", bytes(sig))
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(bits=256, rng=RandomSource(seed=2025))
+        sig = other.sign(b"message")
+        assert not keypair.public.verify(b"message", sig)
+
+    def test_string_messages(self, keypair):
+        assert keypair.public.verify("text", keypair.sign("text"))
+
+
+class TestKeygen:
+    def test_deterministic_for_seeded_rng(self):
+        a = generate_keypair(bits=256, rng=RandomSource(seed=42))
+        b = generate_keypair(bits=256, rng=RandomSource(seed=42))
+        assert a.public == b.public
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=64)
+
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() >= 511

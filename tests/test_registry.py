@@ -1,0 +1,214 @@
+"""Tests for the server-side object table (creation, lookup, revocation)."""
+
+import threading
+
+import pytest
+
+from repro.core.ports import Port
+from repro.core.registry import ObjectTable
+from repro.core.rights import ALL_RIGHTS, Rights
+from repro.core.schemes import scheme_by_name
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import InvalidCapability, NoSuchObject, PermissionDenied
+
+PORT = Port(0x0BADC0FFEE00)
+
+
+@pytest.fixture
+def table():
+    return ObjectTable(
+        scheme_by_name("xor-oneway"), PORT, rng=RandomSource(seed=44)
+    )
+
+
+class TestCreateLookup:
+    def test_create_returns_owner_capability(self, table):
+        cap = table.create({"payload": 1})
+        assert cap.port == PORT
+        entry, rights = table.lookup(cap)
+        assert entry.data == {"payload": 1}
+        assert rights == ALL_RIGHTS
+
+    def test_object_numbers_sequential(self, table):
+        caps = [table.create(i) for i in range(5)]
+        assert [c.object for c in caps] == [0, 1, 2, 3, 4]
+        assert len(table) == 5
+
+    def test_lookup_unknown_object(self, table):
+        cap = table.create("x")
+        ghost = cap.with_rights(cap.rights)  # copy
+        table.destroy(cap)
+        with pytest.raises(NoSuchObject):
+            table.lookup(ghost)
+
+    def test_lookup_requires_rights(self, table):
+        cap = table.create("x")
+        weak = table.restrict(cap, Rights(0x01))
+        table.lookup(weak, required=Rights(0x01))  # fine
+        with pytest.raises(PermissionDenied):
+            table.lookup(weak, required=Rights(0x02))
+
+    def test_lookup_rejects_tampering(self, table):
+        cap = table.create("x")
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap.with_rights(0x0F))
+
+    def test_data_shorthand(self, table):
+        cap = table.create("hello")
+        assert table.data(cap) == "hello"
+
+    def test_touch_counting(self, table):
+        cap = table.create("x")
+        entry, _ = table.lookup(cap)
+        before = entry.touches
+        table.lookup(cap)
+        assert entry.touches == before + 1
+
+
+class TestRestrict:
+    def test_restricted_capability_works(self, table):
+        cap = table.create("x")
+        weak = table.restrict(cap, Rights(0b0101))
+        _, rights = table.lookup(weak)
+        assert rights == Rights(0b0101)
+
+    def test_restrict_of_restrict_shrinks(self, table):
+        cap = table.create("x")
+        weaker = table.restrict(table.restrict(cap, Rights(0b0111)), Rights(0b0011))
+        _, rights = table.lookup(weaker)
+        assert rights == Rights(0b0011)
+
+    def test_restrict_unknown_object(self, table):
+        cap = table.create("x")
+        table.destroy(cap)
+        with pytest.raises(NoSuchObject):
+            table.restrict(cap, Rights(1))
+
+
+class TestRevocation:
+    """§2.3: changing the stored random number instantly invalidates every
+    outstanding capability."""
+
+    def test_refresh_kills_all_outstanding(self, table):
+        owner = table.create("precious")
+        shared_a = table.restrict(owner, Rights(0x01))
+        shared_b = table.restrict(owner, Rights(0x03))
+        fresh = table.refresh(owner)
+        for dead in (owner, shared_a, shared_b):
+            with pytest.raises(InvalidCapability):
+                table.lookup(dead)
+        entry, rights = table.lookup(fresh)
+        assert entry.data == "precious"
+        assert rights == ALL_RIGHTS
+
+    def test_refresh_requires_rights(self, table):
+        owner = table.create("x")
+        weak = table.restrict(owner, Rights(0x01))
+        with pytest.raises(PermissionDenied):
+            table.refresh(weak)  # default requires ALL rights
+
+    def test_refresh_bumps_generation(self, table):
+        owner = table.create("x")
+        entry, _ = table.lookup(owner)
+        assert entry.generation == 0
+        fresh = table.refresh(owner)
+        assert entry.generation == 1
+        table.refresh(fresh)
+        assert entry.generation == 2
+
+    def test_data_survives_refresh(self, table):
+        owner = table.create([1, 2, 3])
+        fresh = table.refresh(owner)
+        assert table.data(fresh) == [1, 2, 3]
+
+
+class TestDestroy:
+    def test_destroy_removes(self, table):
+        cap = table.create("x")
+        assert table.destroy(cap) == "x"
+        assert len(table) == 0
+
+    def test_numbers_recycled(self, table):
+        cap = table.create("a")
+        table.destroy(cap)
+        again = table.create("b")
+        assert again.object == cap.object
+
+    def test_stale_capability_after_recycle_rejected(self, table):
+        # The recycled object gets a fresh random number, so the old
+        # capability for the same object number must not validate.
+        cap = table.create("old")
+        table.destroy(cap)
+        table.create("new")
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap)
+
+    def test_destroy_requires_rights(self, table):
+        cap = table.create("x")
+        weak = table.restrict(cap, Rights(0x01))
+        with pytest.raises(PermissionDenied):
+            table.destroy(weak)
+
+
+class TestMintFor:
+    def test_mint_for_existing(self, table):
+        cap = table.create("x")
+        reminted = table.mint_for(cap.object, Rights(0x03))
+        _, rights = table.lookup(reminted)
+        assert rights == Rights(0x03)
+
+    def test_mint_for_missing(self, table):
+        with pytest.raises(NoSuchObject):
+            table.mint_for(123)
+
+
+class TestCapacityAndConcurrency:
+    def test_table_capacity(self):
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=1),
+            max_objects=2,
+        )
+        table.create(1)
+        table.create(2)
+        with pytest.raises(NoSuchObject):
+            table.create(3)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ObjectTable(scheme_by_name("simple"), PORT, max_objects=0)
+
+    def test_concurrent_creates_unique_numbers(self, table):
+        numbers = []
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    numbers.append(table.create("x").object)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(numbers)) == 200
+
+
+class TestSchemeIntegration:
+    @pytest.mark.parametrize("name", ["simple", "encrypted", "xor-oneway", "commutative"])
+    def test_full_lifecycle_per_scheme(self, name):
+        table = ObjectTable(
+            scheme_by_name(name), PORT, rng=RandomSource(seed=7)
+        )
+        cap = table.create("obj")
+        entry, rights = table.lookup(cap)
+        assert entry.data == "obj"
+        fresh = table.refresh(cap)
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap)
+        assert table.destroy(fresh) == "obj"

@@ -1,0 +1,133 @@
+"""Tests for the real UDP transport (laptop-scale 'hashlib and sockets')."""
+
+import pytest
+
+from repro.core.ports import Port, PrivatePort
+from repro.crypto.randomsrc import RandomSource
+from repro.ipc.rpc import trans
+from repro.net.message import Message
+from repro.net.sockets import SocketNode
+
+
+@pytest.fixture
+def nodes():
+    created = []
+
+    def make():
+        node = SocketNode()
+        created.append(node)
+        return node
+
+    yield make
+    for node in created:
+        node.close()
+
+
+pytestmark = pytest.mark.integration
+
+
+class TestSocketTransport:
+    def test_listen_put_poll(self, nodes):
+        server, client = nodes(), nodes()
+        g = PrivatePort(42)
+        wire = server.listen(g)
+        client.put(Message(dest=wire, data=b"over real UDP"),
+                   dst_machine=server.address)
+        frame = server.poll(g, timeout=2.0)
+        assert frame is not None
+        assert frame.message.data == b"over real UDP"
+        assert frame.src == client.address
+
+    def test_fbox_applied_on_egress(self, nodes):
+        server, client = nodes(), nodes()
+        g = PrivatePort(42)
+        wire = server.listen(g)
+        reply_secret = PrivatePort(777)
+        client.put(
+            Message(dest=wire, reply=Port(reply_secret.secret)),
+            dst_machine=server.address,
+        )
+        frame = server.poll(g, timeout=2.0)
+        assert frame.message.reply == reply_secret.public
+
+    def test_rpc_over_sockets(self, nodes):
+        server, client = nodes(), nodes()
+        g = PrivatePort(9)
+
+        def handler(frame):
+            server.put(
+                frame.message.reply_to(data=frame.message.data.upper()),
+                dst_machine=frame.src,
+            )
+
+        wire = server.serve(g, handler)
+        reply = trans(
+            client,
+            wire,
+            Message(data=b"shout"),
+            rng=RandomSource(seed=1),
+            dst_machine=server.address,
+            timeout=3.0,
+        )
+        assert reply.data == b"SHOUT"
+
+    def test_port_addressed_broadcast_to_peers(self, nodes):
+        server, client = nodes(), nodes()
+        client.connect(server.address)
+        g = PrivatePort(5)
+        wire = server.listen(g)
+        client.put(Message(dest=wire, data=b"found you"))
+        frame = server.poll(g, timeout=2.0)
+        assert frame is not None
+
+    def test_garbage_datagrams_dropped(self, nodes):
+        import socket
+
+        server = nodes()
+        g = PrivatePort(5)
+        server.listen(g)
+        raw_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        raw_sock.sendto(b"not an amoeba message", server.address)
+        raw_sock.close()
+        assert server.poll(g, timeout=0.3) is None
+
+    def test_unadmitted_ports_dropped(self, nodes):
+        server, client = nodes(), nodes()
+        client.put(Message(dest=Port(12345), data=b"x"),
+                   dst_machine=server.address)
+        g = PrivatePort(5)
+        server.listen(g)
+        assert server.poll(g, timeout=0.2) is None
+
+    def test_oversized_message_refused(self, nodes):
+        client = nodes()
+        with pytest.raises(ValueError):
+            client.put(Message(data=b"x" * 70000), dst_machine=("127.0.0.1", 1))
+
+    def test_context_manager(self):
+        with SocketNode() as node:
+            assert node.address[1] > 0
+
+    def test_object_server_over_sockets(self, nodes):
+        from repro.ipc.client import ServiceClient
+        from repro.ipc.server import ObjectServer, command
+        from repro.ipc.stdops import USER_BASE
+
+        class Upper(ObjectServer):
+            service_name = "upper"
+
+            @command(USER_BASE)
+            def _up(self, ctx):
+                return ctx.ok(data=ctx.request.data.upper())
+
+        server_node, client_node = nodes(), nodes()
+        server = Upper(server_node, rng=RandomSource(seed=1)).start()
+        client_node.connect(server_node.address)
+        client = ServiceClient(
+            client_node,
+            server.put_port,
+            rng=RandomSource(seed=2),
+            expect_signature=server.signature_image,
+            timeout=3.0,
+        )
+        assert client.call(USER_BASE, data=b"udp works").data == b"UDP WORKS"

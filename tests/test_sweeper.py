@@ -1,0 +1,113 @@
+"""Tests for mark-and-age garbage collection across servers."""
+
+import pytest
+
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import NoSuchObject
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+from repro.servers.directory import DirectoryClient, DirectoryServer
+from repro.servers.flatfile import FlatFileClient, FlatFileServer
+from repro.servers.sweeper import ReachabilitySweeper
+
+
+@pytest.fixture
+def world():
+    net = SimNetwork()
+    dirs = DirectoryServer(Nic(net), rng=RandomSource(seed=1)).start()
+    files = FlatFileServer(Nic(net), rng=RandomSource(seed=2)).start()
+    # Three sweeps of grace for every object.
+    dirs.table.default_lifetime = 3
+    files.table.default_lifetime = 3
+    client_nic = Nic(net)
+    dclient = DirectoryClient(client_nic, dirs.put_port, rng=RandomSource(seed=3))
+    fclient = FlatFileClient(client_nic, files.put_port, rng=RandomSource(seed=4))
+    root = dirs.create_root()
+    sweeper = ReachabilitySweeper(Nic(net), [root], rng=RandomSource(seed=5))
+    return net, dirs, files, dclient, fclient, root, sweeper
+
+
+class TestMark:
+    def test_marks_whole_tree(self, world):
+        _, dirs, files, dclient, fclient, root, sweeper = world
+        sub = dclient.create_directory(root, "sub")
+        f1 = fclient.create(b"one")
+        f2 = fclient.create(b"two")
+        dclient.enter(root, "f1", f1)
+        dclient.enter(sub, "f2", f2)
+        # root + sub + f1 + f2
+        assert sweeper.mark() == 4
+
+    def test_shared_objects_marked_once(self, world):
+        _, _, files, dclient, fclient, root, sweeper = world
+        f = fclient.create(b"shared")
+        dclient.enter(root, "name-a", f)
+        dclient.enter(root, "name-b", fclient.restrict(f, 0x01))
+        assert sweeper.mark() == 2  # root + the one file
+
+    def test_cycles_terminate(self, world):
+        _, _, _, dclient, _, root, sweeper = world
+        sub = dclient.create_directory(root, "sub")
+        dclient.enter(sub, "loop", root)  # sub -> root cycle
+        assert sweeper.mark() == 2
+
+    def test_stale_entries_skipped(self, world):
+        _, _, _, dclient, fclient, root, sweeper = world
+        f = fclient.create(b"doomed")
+        dclient.enter(root, "stale", f)
+        fclient.destroy(f)
+        assert sweeper.mark() == 1  # just the root
+        assert sweeper.unreachable_errors >= 1
+
+
+class TestCollect:
+    def test_reachable_survive_orphans_die(self, world):
+        _, dirs, files, dclient, fclient, root, sweeper = world
+        named = fclient.create(b"in the directory")
+        orphan = fclient.create(b"leaked: capability lost")
+        dclient.enter(root, "named", named)
+
+        for _ in range(4):  # more cycles than the 3-sweep lifetime
+            touched, _ = sweeper.collect([dirs, files])
+            assert touched >= 2
+
+        assert fclient.read(named, 0, 16) == b"in the directory"
+        with pytest.raises(NoSuchObject):
+            fclient.read(orphan, 0, 1)
+
+    def test_collect_counts(self, world):
+        _, dirs, files, dclient, fclient, root, sweeper = world
+        dclient.enter(root, "kept", fclient.create(b"kept"))
+        fclient.create(b"orphan")
+        expired_total = 0
+        for _ in range(4):
+            touched, expired = sweeper.collect([dirs, files])
+            expired_total += expired
+        assert expired_total == 1  # exactly the orphan
+
+    def test_unlinked_objects_eventually_collected(self, world):
+        """Removing the directory entry (without destroy) leaks the
+        object; the sweeper is what reclaims it."""
+        _, dirs, files, dclient, fclient, root, sweeper = world
+        f = fclient.create(b"unlink me")
+        dclient.enter(root, "f", f)
+        sweeper.collect([dirs, files])
+        dclient.remove(root, "f")
+        for _ in range(4):
+            sweeper.collect([dirs, files])
+        with pytest.raises(NoSuchObject):
+            fclient.read(f, 0, 1)
+
+    def test_deep_tree_survives(self, world):
+        _, dirs, files, dclient, fclient, root, sweeper = world
+        current = root
+        leaves = []
+        for i in range(6):
+            current = dclient.create_directory(current, "d%d" % i)
+            leaf = fclient.create(b"leaf %d" % i)
+            dclient.enter(current, "leaf", leaf)
+            leaves.append(leaf)
+        for _ in range(5):
+            sweeper.collect([dirs, files])
+        for i, leaf in enumerate(leaves):
+            assert fclient.read(leaf, 0, 6) == b"leaf %d" % i

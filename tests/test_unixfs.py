@@ -1,0 +1,156 @@
+"""Tests for the UNIX-like file system facade (§3.5's third file system)."""
+
+import os
+
+import pytest
+
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import BadRequest, NameNotFound
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+from repro.servers.directory import DirectoryServer
+from repro.servers.flatfile import FlatFileServer
+from repro.servers.unixfs import UnixFs
+
+
+@pytest.fixture
+def fs():
+    net = SimNetwork()
+    dirs = DirectoryServer(Nic(net), rng=RandomSource(seed=1)).start()
+    files = FlatFileServer(Nic(net), rng=RandomSource(seed=2)).start()
+    root = dirs.create_root()
+    return UnixFs(Nic(net), root, files.put_port, rng=RandomSource(seed=3))
+
+
+class TestCreateOpenClose:
+    def test_creat_then_open_read(self, fs):
+        fs.creat("hello.txt")
+        fd = fs.open("hello.txt", "a")
+        fs.write(fd, b"hi")
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 10) == b"hi"
+        fs.close(fd)
+
+    def test_open_missing_read_fails(self, fs):
+        with pytest.raises(NameNotFound):
+            fs.open("ghost.txt", "r")
+
+    def test_append_mode_creates(self, fs):
+        fd = fs.open("new.txt", "a")
+        assert fs.write(fd, b"created by append") == 17
+
+    def test_bad_mode(self, fs):
+        with pytest.raises(BadRequest):
+            fs.open("x", "rw+")
+
+    def test_closed_fd_unusable(self, fs):
+        fd = fs.open("f", "a")
+        fs.close(fd)
+        with pytest.raises(BadRequest):
+            fs.read(fd, 1)
+
+    def test_fds_are_distinct(self, fs):
+        a = fs.open("a.txt", "a")
+        b = fs.open("b.txt", "a")
+        assert a != b
+
+
+class TestReadWriteSeek:
+    def test_sequential_reads_advance(self, fs):
+        fd = fs.open("seq.txt", "a")
+        fs.write(fd, b"0123456789")
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 4) == b"0123"
+        assert fs.read(fd, 4) == b"4567"
+        assert fs.read(fd, 4) == b"89"
+
+    def test_seek_modes(self, fs):
+        fd = fs.open("seek.txt", "a")
+        fs.write(fd, b"0123456789")
+        assert fs.lseek(fd, 2, os.SEEK_SET) == 2
+        assert fs.lseek(fd, 3, os.SEEK_CUR) == 5
+        assert fs.lseek(fd, -1, os.SEEK_END) == 9
+        assert fs.read(fd, 1) == b"9"
+
+    def test_seek_before_start(self, fs):
+        fd = fs.open("x", "a")
+        with pytest.raises(BadRequest):
+            fs.lseek(fd, -1, os.SEEK_SET)
+
+    def test_write_in_read_mode_refused(self, fs):
+        fs.creat("ro.txt")
+        fd = fs.open("ro.txt", "r")
+        with pytest.raises(BadRequest):
+            fs.write(fd, b"x")
+
+    def test_append_positions_at_end(self, fs):
+        fd = fs.open("log", "a")
+        fs.write(fd, b"line1\n")
+        fs.close(fd)
+        fd = fs.open("log", "a")
+        fs.write(fd, b"line2\n")
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 100) == b"line1\nline2\n"
+
+
+class TestTruncatingOpen:
+    def test_w_mode_truncates(self, fs):
+        fd = fs.open("data", "a")
+        fs.write(fd, b"old contents that are long")
+        fs.close(fd)
+        fd = fs.open("data", "w")
+        fs.write(fd, b"new")
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 100) == b"new"
+
+    def test_w_mode_creates_fresh_file_object(self, fs):
+        fd = fs.open("data", "a")
+        fs.write(fd, b"v1")
+        old = fs.stat("data")
+        fs.close(fd)
+        fs.open("data", "w")
+        new = fs.stat("data")
+        assert (old["object"], old["port"]) != (new["object"], new["port"]) or (
+            old["object"] != new["object"]
+        )
+
+
+class TestDirectories:
+    def test_mkdir_and_nested_paths(self, fs):
+        fs.mkdir("usr")
+        fs.mkdir("usr/lib")
+        fs.creat("usr/lib/libc.a")
+        assert fs.listdir("usr") == ["lib"]
+        assert fs.listdir("usr/lib") == ["libc.a"]
+
+    def test_listdir_root(self, fs):
+        fs.creat("a")
+        fs.mkdir("b")
+        assert fs.listdir("/") == ["a", "b"]
+
+    def test_unlink(self, fs):
+        fs.creat("doomed")
+        fs.unlink("doomed")
+        assert fs.listdir("/") == []
+        with pytest.raises(NameNotFound):
+            fs.open("doomed", "r")
+
+    def test_stat(self, fs):
+        fd = fs.open("stats.txt", "a")
+        fs.write(fd, b"12345")
+        info = fs.stat("stats.txt")
+        assert info["size"] == 5
+
+    def test_empty_path_rejected(self, fs):
+        with pytest.raises(BadRequest):
+            fs.creat("/")
+
+
+class TestUnixOnAmoebaSemantics:
+    def test_open_cap_bypasses_paths(self, fs):
+        """The facade is capability-based underneath: a raw capability can
+        be opened with no directory entry at all."""
+        cap = fs.creat("visible.txt")
+        fd = fs.open_cap(cap, "a")
+        fs.write(fd, b"written via bare capability")
+        assert fs.stat("visible.txt")["size"] == 27

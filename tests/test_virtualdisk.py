@@ -1,0 +1,119 @@
+"""Tests for the virtual disk (including write-once media)."""
+
+import pytest
+
+from repro.disk.virtualdisk import VirtualDisk
+from repro.errors import OutOfSpace, WriteOnceViolation
+
+
+class TestBasics:
+    def test_geometry(self):
+        disk = VirtualDisk(n_blocks=10, block_size=128)
+        assert disk.n_blocks == 10
+        assert disk.block_size == 128
+        assert disk.free_blocks == 10
+
+    def test_allocate_unique(self):
+        disk = VirtualDisk(n_blocks=5)
+        blocks = {disk.allocate() for _ in range(5)}
+        assert len(blocks) == 5
+        assert disk.used_blocks == 5
+
+    def test_exhaustion(self):
+        disk = VirtualDisk(n_blocks=2)
+        disk.allocate()
+        disk.allocate()
+        with pytest.raises(OutOfSpace):
+            disk.allocate()
+
+    def test_free_recycles(self):
+        disk = VirtualDisk(n_blocks=1)
+        b = disk.allocate()
+        disk.free(b)
+        assert disk.allocate() == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualDisk(n_blocks=0)
+        with pytest.raises(ValueError):
+            VirtualDisk(n_blocks=1, block_size=0)
+
+
+class TestIO:
+    def test_write_read(self):
+        disk = VirtualDisk(n_blocks=4, block_size=16)
+        b = disk.allocate()
+        disk.write(b, b"hello")
+        assert disk.read(b) == b"hello" + bytes(11)
+
+    def test_unwritten_reads_zeros(self):
+        disk = VirtualDisk(n_blocks=4, block_size=8)
+        b = disk.allocate()
+        assert disk.read(b) == bytes(8)
+
+    def test_oversized_write(self):
+        disk = VirtualDisk(n_blocks=4, block_size=8)
+        b = disk.allocate()
+        with pytest.raises(ValueError):
+            disk.write(b, b"123456789")
+
+    def test_block_bounds(self):
+        disk = VirtualDisk(n_blocks=4)
+        with pytest.raises(ValueError):
+            disk.read(4)
+        with pytest.raises(ValueError):
+            disk.write(-1, b"")
+
+    def test_counters(self):
+        disk = VirtualDisk(n_blocks=4)
+        b = disk.allocate()
+        disk.write(b, b"x")
+        disk.read(b)
+        disk.read(b)
+        assert disk.writes == 1
+        assert disk.reads == 2
+
+    def test_rewrite_allowed_on_normal_media(self):
+        disk = VirtualDisk(n_blocks=4, block_size=8)
+        b = disk.allocate()
+        disk.write(b, b"first")
+        disk.write(b, b"second")
+        assert disk.read(b).startswith(b"second")
+
+
+class TestWriteOnce:
+    """§3.5: 'designed for use with video disks and other write-once
+    media' — a written block is burnt forever."""
+
+    def test_rewrite_refused(self):
+        disk = VirtualDisk(n_blocks=4, write_once=True)
+        b = disk.allocate()
+        disk.write(b, b"burnt")
+        with pytest.raises(WriteOnceViolation):
+            disk.write(b, b"again")
+
+    def test_free_of_written_block_refused(self):
+        disk = VirtualDisk(n_blocks=4, write_once=True)
+        b = disk.allocate()
+        disk.write(b, b"burnt")
+        with pytest.raises(WriteOnceViolation):
+            disk.free(b)
+
+    def test_unwritten_block_can_be_freed(self):
+        disk = VirtualDisk(n_blocks=4, write_once=True)
+        b = disk.allocate()
+        disk.free(b)  # never written: reclaimable
+
+    def test_reads_always_allowed(self):
+        disk = VirtualDisk(n_blocks=4, write_once=True)
+        b = disk.allocate()
+        disk.write(b, b"data")
+        for _ in range(3):
+            assert disk.read(b).startswith(b"data")
+
+    def test_is_written(self):
+        disk = VirtualDisk(n_blocks=4, write_once=True)
+        b = disk.allocate()
+        assert not disk.is_written(b)
+        disk.write(b, b"x")
+        assert disk.is_written(b)
