@@ -1,0 +1,154 @@
+"""Entry point for the throughput benchmark suite.
+
+Runs the workloads in :mod:`bench_throughput` and writes
+``BENCH_throughput.json`` with stable keys, so successive PRs can diff
+perf numbers mechanically (the convention recorded in ``CHANGES.md``:
+commit the refreshed JSON whenever a PR claims a wire-path speedup).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # current tree
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --baseline-src /path/to/old/checkout/src                  # + comparison
+    PYTHONPATH=src python benchmarks/run_bench.py --pytest        # also run the
+                                                                  # pytest-benchmark suite
+
+With ``--baseline-src`` the same workload code is executed in a
+subprocess against the older source tree, and the output gains
+``baseline`` and ``speedup`` sections.  The two headline speedups are
+``echo_round_trip`` (trans/sec) and ``routing_50_machines`` (frames/sec).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+
+SCHEMA = "bench_throughput/v1"
+
+
+def run_workloads():
+    from bench_throughput import WORKLOADS
+
+    results = {}
+    for name, workload in WORKLOADS.items():
+        results[name] = workload()
+    return results
+
+
+def run_in_tree(src_dir):
+    """Run the same workloads against another source tree, in a subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--emit-raw"],
+        env=env,
+        cwd=_HERE,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def speedups(current, baseline):
+    """The headline ratios; >1.0 means the current tree is faster."""
+    ratios = {}
+    try:
+        ratios["echo_round_trip_x"] = round(
+            current["echo_round_trip"]["trans_per_sec"]
+            / baseline["echo_round_trip"]["trans_per_sec"],
+            2,
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    try:
+        ratios["routing_50_machines_x"] = round(
+            current["routing_50_machines"]["frames_per_sec"]
+            / baseline["routing_50_machines"]["frames_per_sec"],
+            2,
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    return ratios
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=os.path.join(_REPO, "BENCH_throughput.json"),
+        help="output path (default: BENCH_throughput.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline-src",
+        default=None,
+        help="src/ directory of an older checkout to compare against",
+    )
+    parser.add_argument(
+        "--baseline-label",
+        default=None,
+        help="label recorded for the baseline tree (e.g. a commit hash)",
+    )
+    parser.add_argument(
+        "--emit-raw",
+        action="store_true",
+        help="print raw workload results as JSON to stdout and exit "
+        "(used internally for --baseline-src subruns)",
+    )
+    parser.add_argument(
+        "--pytest",
+        action="store_true",
+        help="also run the pytest-benchmark suite over bench_throughput.py",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, _HERE)
+    if args.emit_raw:
+        json.dump(run_workloads(), sys.stdout)
+        return 0
+
+    current = run_workloads()
+    report = {
+        "schema": SCHEMA,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "current": current,
+    }
+    if args.baseline_src:
+        try:
+            baseline = run_in_tree(args.baseline_src)
+        except subprocess.CalledProcessError as exc:
+            sys.stderr.write(
+                "baseline run against %r failed:\n%s\n"
+                % (args.baseline_src, exc.stderr or exc.stdout)
+            )
+            return 2
+        report["baseline"] = baseline
+        if args.baseline_label:
+            report["baseline_label"] = args.baseline_label
+        report["speedup"] = speedups(current, baseline)
+
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % args.json)
+    for name, result in sorted(current.items()):
+        headline = result.get("trans_per_sec") or result.get("frames_per_sec")
+        if headline:
+            print("  %-24s %12.0f /sec" % (name, headline))
+    for name, ratio in sorted(report.get("speedup", {}).items()):
+        print("  %-24s %11.2fx" % (name, ratio))
+
+    if args.pytest:
+        import pytest
+
+        return pytest.main([os.path.join(_HERE, "bench_throughput.py"), "-q"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,14 +46,43 @@ class Port:
         return cls(int.from_bytes(data, "big"))
 
     @classmethod
+    def _unchecked(cls, value):
+        """Wrap a value known to be in range, skipping ``__post_init__``.
+
+        For trusted producers only: the one-way function masks its output
+        to PORT_BITS and the random source draws exactly PORT_BITS, so
+        re-validating their results on the per-frame path buys nothing.
+        """
+        port = cls.__new__(cls)
+        object.__setattr__(port, "value", value)
+        return port
+
+    @classmethod
     def random(cls, rng=None):
-        """Draw a fresh random port — sparse in a 2**48 space."""
+        """Draw a fresh random port — sparse in a 2**48 space.
+
+        Validating constructor on purpose: ``rng`` may be caller-supplied,
+        and a buggy one should fail here, not later inside pack().
+        """
         rng = rng or RandomSource()
         return cls(rng.bits(PORT_BITS))
 
     @property
     def is_null(self):
         return self.value == 0
+
+    # Ports key every hot dict on the wire path (admission sinks, the
+    # routing index, F-image caches).  The dataclass-generated
+    # __hash__/__eq__ build a (value,) tuple per call; these single-field
+    # versions do not, and dataclass() leaves explicitly defined ones
+    # alone.  Equal ports still hash equally, so the contract holds.
+    def __hash__(self):
+        return hash(self.value)
+
+    def __eq__(self, other):
+        if other.__class__ is Port:
+            return self.value == other.value
+        return NotImplemented
 
     def __repr__(self):
         return "Port(%012x)" % self.value
@@ -86,8 +115,24 @@ class PrivatePort:
 
     @property
     def public(self):
-        """The put-port P = F(G) that clients use to reach this service."""
-        return Port(default_oneway()(self.secret))
+        """The put-port P = F(G) that clients use to reach this service.
+
+        Computed once and cached on the instance — F is deterministic and
+        the secret is immutable, so the image can never change.
+        """
+        cached = self.__dict__.get("_public")
+        if cached is None:
+            cached = Port(default_oneway()(self.secret))
+            object.__setattr__(self, "_public", cached)
+        return cached
+
+    def _as_secret_port(self):
+        """The secret wrapped as a :class:`Port` (cached; see ``as_port``)."""
+        cached = self.__dict__.get("_secret_port")
+        if cached is None:
+            cached = Port(self.secret)
+            object.__setattr__(self, "_secret_port", cached)
+        return cached
 
     def __repr__(self):
         # Never print the secret: knowledge of a port IS the credential.
@@ -104,7 +149,7 @@ def as_port(value):
     if isinstance(value, Port):
         return value
     if isinstance(value, PrivatePort):
-        return Port(value.secret)
+        return value._as_secret_port()
     if isinstance(value, int):
         return Port(value)
     raise TypeError("cannot interpret %r as a port" % (value,))

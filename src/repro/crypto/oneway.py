@@ -17,6 +17,11 @@ from repro.util.bits import mask
 #: Width of Amoeba ports and check fields, in bits (Fig. 2).
 PORT_BITS = 48
 
+#: Entries kept in each instance's memo of F(value); when the memo fills
+#: it is dropped wholesale (F recomputes in ~1 µs, eviction bookkeeping
+#: would cost more than it saves).
+_MEMO_MAX = 1 << 16
+
 
 class OneWayFunction:
     """A truncated, domain-separated SHA-256 one-way function.
@@ -25,6 +30,11 @@ class OneWayFunction:
     integers in the same range, so F can be iterated (as the commutative
     scheme's conceptual model requires) and compared against wire fields
     directly.
+
+    F is deterministic, so every instance memoizes ``value -> F(value)``:
+    the wire path applies F to the same handful of port values again and
+    again (listen, egress, poll all one-way the same reply secret), and a
+    dict hit is an order of magnitude cheaper than a SHA-256 round trip.
     """
 
     def __init__(self, tag=b"amoeba/F", width_bits=PORT_BITS):
@@ -36,15 +46,34 @@ class OneWayFunction:
         self.width_bits = width_bits
         self._in_bytes = (width_bits + 7) // 8
         self._mask = mask(width_bits)
+        self._memo = {}
+        self._int_prefix = tag + b"\x00"
 
     def __call__(self, value):
         """Apply F to an integer, returning an integer of the same width."""
+        memo = self._memo
+        image = memo.get(value)
+        if image is not None:
+            return image
+        image = self.raw(value)
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[value] = image
+        return image
+
+    def raw(self, value):
+        """F without the memo, for callers that keep their own cache.
+
+        The F-box caches ``value -> Port`` itself; routing its misses
+        through here keeps each mapping in exactly one cache instead of
+        two (the memo above still serves the scheme/derivation callers).
+        """
         if value < 0 or value > self._mask:
             raise ValueError(
                 "input %#x outside the %d-bit domain" % (value, self.width_bits)
             )
         digest = hashlib.sha256(
-            self.tag + b"\x00" + value.to_bytes(self._in_bytes, "big")
+            self._int_prefix + value.to_bytes(self._in_bytes, "big")
         ).digest()
         return int.from_bytes(digest, "big") & self._mask
 

@@ -6,6 +6,11 @@ evidence..."), so randomness quality is load-bearing.  By default we draw
 from ``os.urandom``.  For reproducible tests and benchmarks a seed may be
 supplied, in which case a deterministic SHA-256 counter DRBG is used — the
 distribution is still uniform, only predictable to whoever knows the seed.
+
+The seeded stream is stable for a given seed *within* a revision of this
+module; it is not stable across revisions (the draw granularity may
+change — e.g. the pooling below changed it), so never persist expected
+values derived from a seed.
 """
 
 import hashlib
@@ -30,6 +35,10 @@ class RandomSource:
         else:
             self._state = hashlib.sha256(self._encode_seed(seed)).digest()
             self._counter = 0
+            # Undrawn DRBG output: each SHA block is 32 bytes, most draws
+            # are 6-byte ports, so pooling the remainder makes the
+            # amortized cost one hash per 32 bytes instead of per draw.
+            self._pool = bytearray()
 
     @staticmethod
     def _encode_seed(seed):
@@ -53,14 +62,17 @@ class RandomSource:
         if self._state is None:
             return os.urandom(n)
         with self._lock:
-            out = bytearray()
-            while len(out) < n:
-                block = hashlib.sha256(
-                    self._state + self._counter.to_bytes(8, "big")
-                ).digest()
+            pool = self._pool
+            while len(pool) < n:
+                pool.extend(
+                    hashlib.sha256(
+                        self._state + self._counter.to_bytes(8, "big")
+                    ).digest()
+                )
                 self._counter += 1
-                out.extend(block)
-            return bytes(out[:n])
+            out = bytes(pool[:n])
+            del pool[:n]
+            return out
 
     def bits(self, n):
         """Return a uniformly random integer with exactly ``n`` random bits.

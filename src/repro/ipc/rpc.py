@@ -14,7 +14,7 @@ and are discarded.  This is the digital-signature mechanism of §2.2.
 
 import time
 
-from repro.core.ports import PrivatePort, as_port
+from repro.core.ports import Port, as_port
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import PortNotLocated, RPCTimeout
 
@@ -62,46 +62,70 @@ def trans(
         No (acceptable) reply arrived within ``timeout`` seconds.
     """
     rng = rng or _DEFAULT_RNG
-    reply_private = PrivatePort.generate(rng)
-    node.listen(reply_private)
+    # The reply secret G' as a bare Port — a fresh 48-bit value per
+    # transaction, exactly what PrivatePort.generate produces, minus a
+    # wrapper the hot path would immediately unwrap again.  Unlike
+    # PrivatePort, Port's repr shows the value, so containment matters:
+    # nothing here logs or reprs it, and put_owned replaces it with
+    # F(G') in place on egress.  (Like any recently one-wayed value it
+    # does transit the F-box image cache — see the cache-retention note
+    # in docs/PERFORMANCE.md.)
+    reply_secret = Port.random(rng)
+    # listen() hands back the wire port F(G'); holding on to it lets the
+    # poll/unlisten below skip re-deriving it.
+    wire_reply = node.listen(reply_secret)
     try:
-        outgoing = request.copy(
-            dest=as_port(dest_port),
-            reply=as_port(reply_private),
-            is_reply=False,
-        )
-        if signature is not None:
-            outgoing = outgoing.copy(signature=as_port(signature))
-        accepted = node.put(outgoing, dst_machine=dst_machine)
+        # One trusted copy: the caller's request was validated when it was
+        # constructed, and every replacement value here is a Port.
+        if signature is None:
+            outgoing = request._evolve(
+                dest=as_port(dest_port), reply=reply_secret, is_reply=False
+            )
+        else:
+            outgoing = request._evolve(
+                dest=as_port(dest_port),
+                reply=reply_secret,
+                signature=as_port(signature),
+                is_reply=False,
+            )
+        # put_owned: `outgoing` is our private copy, never reused after
+        # this call, so the F-box may transform it in place.
+        accepted = node.put_owned(outgoing, dst_machine)
         if not accepted and dst_machine is None:
             raise PortNotLocated(
                 "no server is listening on port %r" % as_port(dest_port)
             )
-        deadline = time.monotonic() + timeout
+        # Fast path first: on the synchronous simulator the reply is
+        # already queued, so no clock reads are needed at all.
+        frame = node.poll_wire(wire_reply)
+        deadline = None
         while True:
-            remaining = deadline - time.monotonic()
-            frame = _poll(node, reply_private, remaining)
             if frame is None:
-                raise RPCTimeout(
-                    "no reply within %.3fs from port %r"
-                    % (timeout, as_port(dest_port))
-                )
+                if deadline is None:
+                    deadline = time.monotonic() + timeout
+                remaining = deadline - time.monotonic()
+                frame = _poll_blocking(node, wire_reply, remaining)
+                if frame is None:
+                    raise RPCTimeout(
+                        "no reply within %.3fs from port %r"
+                        % (timeout, as_port(dest_port))
+                    )
             reply = frame.message
             if expect_signature is not None and reply.signature != expect_signature:
                 # A forged reply: keep waiting for the genuine one.
+                frame = node.poll_wire(wire_reply)
                 continue
             return reply
     finally:
-        node.unlisten(reply_private)
+        node.unlisten_wire(wire_reply)
 
 
-def _poll(node, port, remaining):
+def _poll_blocking(node, wire_port, remaining):
     """Poll a station; the simulator is synchronous, sockets block."""
-    frame = node.poll(port)
-    if frame is not None or remaining <= 0:
-        return frame
+    if remaining <= 0:
+        return None
     try:
-        return node.poll(port, timeout=remaining)
+        return node.poll_wire(wire_port, timeout=remaining)
     except TypeError:
         # The simulated Nic has no timeout concept: delivery already
         # happened synchronously during put(), so an empty queue now is

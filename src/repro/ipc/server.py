@@ -12,6 +12,8 @@ and several servers can run on one machine or the same server on several
 machines (the network round-robins among listeners on a shared port).
 """
 
+from collections import Counter
+
 from repro.core.ports import PrivatePort, as_port
 from repro.core.registry import ObjectTable
 from repro.core.rights import NO_RIGHTS, Rights
@@ -45,6 +47,8 @@ def command(opcode):
 class RequestContext:
     """Everything a handler needs about one incoming request."""
 
+    __slots__ = ("server", "frame", "request")
+
     def __init__(self, server, frame, request=None):
         self.server = server
         self.frame = frame
@@ -68,20 +72,33 @@ class RequestContext:
         return self.server.table.lookup(self.request.capability, required)
 
     def ok(self, data=b"", capability=None, offset=0, size=0, extra_caps=()):
-        """Build a success reply to this request."""
-        return self.request.reply_to(
-            status=0,
-            data=data,
-            capability=capability,
-            offset=offset,
-            size=size,
-            extra_caps=tuple(extra_caps),
-        )
+        """Build a success reply to this request.
+
+        Uses the trusted ``reply_to`` path (which range-guards the
+        handler-supplied numeric fields), with the server's signature
+        secret already stamped — ``_handle_frame`` then skips its own
+        stamping copy.
+
+        The returned reply belongs to the dispatch loop, which transforms
+        it in place on egress; handlers must return it, not retain it.
+        """
+        changes = {"data": data, "signature": self.server._signature_port}
+        if capability is not None:
+            changes["capability"] = capability
+        if offset:
+            changes["offset"] = offset
+        if size:
+            changes["size"] = size
+        if extra_caps:
+            changes["extra_caps"] = tuple(extra_caps)
+        return self.request.reply_to(**changes)
 
     def error(self, exc):
         """Build an error reply carrying the exception's wire code."""
         return self.request.reply_to(
-            status=error_to_code(exc), data=str(exc).encode("utf-8")
+            status=error_to_code(exc),
+            data=str(exc).encode("utf-8"),
+            signature=self.server._signature_port,
         )
 
 
@@ -142,7 +159,14 @@ class ObjectServer:
         self._collect_commands()
         self._running = False
         #: Count of requests handled, by opcode (experiment bookkeeping).
-        self.request_counts = {}
+        #: A Counter, so reading a never-seen opcode yields 0.
+        self.request_counts = Counter()
+        #: Set False to skip the per-request count — throughput harnesses
+        #: that never read the counts keep it off the hot path.
+        self.count_requests = True
+        # The signature secret as a Port, stamped into every reply; built
+        # once here instead of once per frame.
+        self._signature_port = as_port(self.signature)
 
     @property
     def signature_image(self):
@@ -186,12 +210,13 @@ class ObjectServer:
 
     def _handle_frame(self, frame):
         request = frame.message
-        self.request_counts[request.command] = (
-            self.request_counts.get(request.command, 0) + 1
-        )
+        if self.count_requests:
+            self.request_counts[request.command] += 1
         try:
-            self._authenticate_sender(request)
-            request = self._unseal_request(frame, request)
+            if self.authorized_signatures is not None:
+                self._authenticate_sender(request)
+            if request.sealed_caps or self.require_sealed:
+                request = self._unseal_request(frame, request)
             ctx = RequestContext(self, frame, request)
             handler = self._commands.get(request.command)
             if handler is None:
@@ -215,8 +240,13 @@ class ObjectServer:
         # Replies are signed: the F-box will transform this secret S into
         # the published image F(S) on the wire.  The reply is unicast to
         # the requesting machine (its address came stamped on the frame).
-        reply = reply.copy(signature=as_port(self.signature))
-        self.node.put(reply, dst_machine=frame.src)
+        # ctx.ok/ctx.error pre-stamp the signature; only hand-built
+        # handler replies still need the extra copy here.
+        if reply.signature is not self._signature_port:
+            # A hand-built handler reply: stamp a private copy, which is
+            # then ours to transform in place.
+            reply = reply._evolve(signature=self._signature_port)
+        self.node.put_owned(reply, frame.src)
 
     def _authenticate_sender(self, request):
         if self.authorized_signatures is None:

@@ -18,18 +18,47 @@ because :class:`~repro.net.nic.Nic` offers no path to the wire around it.
 from repro.core.ports import NULL_PORT, Port
 from repro.crypto.oneway import default_oneway
 
+#: Port-image cache bound; dropped wholesale when full (see
+#: ``docs/PERFORMANCE.md`` — recomputing F is cheap, bookkeeping is not).
+_IMAGE_CACHE_MAX = 1 << 16
+
 
 class FBox:
     """One F-box, shared one-way function F across the whole network."""
 
     def __init__(self, oneway=None):
         self._f = oneway or default_oneway()
+        # Cache misses go through the uncached compute when F offers one,
+        # so each value->image mapping lives in exactly one cache (this
+        # one).  Only a real OneWayFunction guarantees its output is
+        # masked to the port width, so only its results may skip Port
+        # validation; a plain callable F goes through the checked
+        # constructor (None here selects that path in one_way).
+        self._f_raw = getattr(self._f, "raw", None)
+        # value -> Port(F(value)).  Sound to memoize: F is deterministic
+        # over the 48-bit port space and Port objects are immutable.  The
+        # hot path one-ways the same value repeatedly (a transaction's
+        # reply secret is one-wayed by listen, egress, poll and unlisten),
+        # and the cache also skips re-constructing the Port wrapper.
+        self._images = {NULL_PORT.value: NULL_PORT}
 
     def one_way(self, port):
         """F applied to a single port value (F-box primitive)."""
-        if port.is_null:
-            return NULL_PORT
-        return Port(self._f(port.value))
+        value = port.value
+        image = self._images.get(value)
+        if image is not None:
+            return image
+        raw = self._f_raw
+        if raw is not None:
+            # _unchecked is sound here: OneWayFunction masks its output.
+            image = Port._unchecked(raw(value))
+        else:
+            image = Port(self._f(value))
+        if len(self._images) >= _IMAGE_CACHE_MAX:
+            self._images.clear()
+            self._images[NULL_PORT.value] = NULL_PORT
+        self._images[value] = image
+        return image
 
     def transform_egress(self, message):
         """The outbound transformation (Fig. 1).
@@ -37,11 +66,31 @@ class FBox:
         Destination passes through untouched ("The F-box on the sender's
         side does not perform any transformation on the P field"); the
         reply and signature fields are replaced by their one-way images.
+        The copy is a single trusted shallow clone — the input message was
+        validated when built, and the two replacement fields are Ports.
+        One code path does the actual transformation for both this and
+        the owned variant, so the egress rule cannot fork between them.
         """
-        return message.copy(
-            reply=self.one_way(message.reply),
-            signature=self.one_way(message.signature),
+        return self.transform_egress_owned(message._evolve())
+
+    def transform_egress_owned(self, message):
+        """The same outbound transformation, applied in place.
+
+        Only for messages the caller constructed privately and will never
+        reuse (e.g. the copy ``trans`` just made): it skips the defensive
+        copy but performs the identical, unconditional transformation —
+        this is an ownership optimization, never an F-box bypass.
+        """
+        fields = message.__dict__
+        images = self._images
+        reply = fields["reply"]
+        signature = fields["signature"]
+        # Ports are always truthy, so `or` falls through only on a miss.
+        fields["reply"] = images.get(reply.value) or self.one_way(reply)
+        fields["signature"] = (
+            images.get(signature.value) or self.one_way(signature)
         )
+        return message
 
     def listen_port(self, get_port):
         """The wire port a GET(get_port) actually listens on: F(get_port).

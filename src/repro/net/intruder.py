@@ -47,7 +47,9 @@ class Intruder:
     def start_capture(self):
         """Begin recording every frame on the wire (promiscuous mode)."""
         if not self._tapping:
-            self.network.add_tap(self._tap)
+            # Owned by this station: detaching the intruder's machine
+            # removes the tap too (no state left behind for dead stations).
+            self.network.add_tap(self._tap, owner=self.address)
             self._tapping = True
 
     def stop_capture(self):

@@ -22,6 +22,19 @@ The binary layout (big-endian) is::
     datalen 4  length of the data part
     cap     caplen bytes
     data    datalen bytes
+
+Two construction disciplines share this one layout (see
+``docs/PERFORMANCE.md``):
+
+* the **untrusted** path — ``Message(...)``, ``copy()`` — runs the full
+  ``__post_init__`` range checks, because the values may come from a
+  hostile or buggy caller;
+* the **trusted** path — ``unpack``, ``reply_to``, the F-box egress copy
+  — skips them.  For ``unpack`` this is sound because the fixed header is
+  decoded with width-limited struct codes (``H``/``Q``/``I``) and the
+  ports with exact-length ``Port.from_bytes``, so every field is in range
+  by construction; for the others the source message was already
+  validated when it was built.
 """
 
 import struct
@@ -84,7 +97,12 @@ class Message:
             self.data = self.data.encode("utf-8")
 
     def pack(self):
-        """Serialise to wire bytes."""
+        """Serialise to wire bytes in a single pass.
+
+        The frame is assembled into one preallocated buffer: the fixed
+        header is packed in place and the capability/payload sections are
+        spliced in, with no intermediate ``bytes`` joins.
+        """
         flags = _FLAG_REPLY if self.is_reply else 0
         if self.sealed_caps:
             if self.capability is not None or self.extra_caps:
@@ -95,15 +113,19 @@ class Message:
             cap_bytes = self.sealed_caps
         else:
             cap_bytes = self.capability.pack() if self.capability else b""
-        extra = b"".join(
-            len(c := cap.pack()).to_bytes(2, "big") + c for cap in self.extra_caps
-        )
-        payload = (
-            len(self.extra_caps).to_bytes(1, "big") + extra + self.data
-            if self.extra_caps
-            else b"\x00" + self.data
-        )
-        head = _FIXED.pack(
+        caplen = len(cap_bytes)
+        data = self.data
+        extra_caps = self.extra_caps
+        if extra_caps:
+            packed_extras = [cap.pack() for cap in extra_caps]
+            datalen = 1 + sum(len(c) + 2 for c in packed_extras) + len(data)
+        else:
+            packed_extras = ()
+            datalen = 1 + len(data)
+        buf = bytearray(HEADER_BYTES + caplen + datalen)
+        _FIXED.pack_into(
+            buf,
+            0,
             _MAGIC,
             _VERSION,
             flags,
@@ -114,10 +136,23 @@ class Message:
             self.status,
             self.offset,
             self.size,
-            len(cap_bytes),
-            len(payload),
+            caplen,
+            datalen,
         )
-        return head + cap_bytes + payload
+        pos = HEADER_BYTES
+        buf[pos:pos + caplen] = cap_bytes
+        pos += caplen
+        buf[pos] = len(extra_caps)
+        pos += 1
+        for packed in packed_extras:
+            clen = len(packed)
+            buf[pos] = clen >> 8
+            buf[pos + 1] = clen & 0xFF
+            pos += 2
+            buf[pos:pos + clen] = packed
+            pos += clen
+        buf[pos:] = data
+        return bytes(buf)
 
     @classmethod
     def unpack(cls, raw):
@@ -168,7 +203,7 @@ class Message:
             extra_caps.append(Capability.unpack(payload[pos:pos + clen]))
             pos += clen
         data = payload[pos:]
-        return cls(
+        return cls._trusted(
             dest=Port.from_bytes(dest),
             reply=Port.from_bytes(reply),
             signature=Port.from_bytes(signature),
@@ -183,28 +218,116 @@ class Message:
             sealed_caps=sealed_caps,
         )
 
+    # ------------------------------------------------------------------
+    # trusted fast paths (see module docstring)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls,
+        dest=NULL_PORT,
+        reply=NULL_PORT,
+        signature=NULL_PORT,
+        command=0,
+        status=0,
+        offset=0,
+        size=0,
+        capability=None,
+        data=b"",
+        is_reply=False,
+        extra_caps=(),
+        sealed_caps=b"",
+    ):
+        """Build a message without the ``__post_init__`` range checks.
+
+        Callers must guarantee every field is already in range (wire
+        decoding does so structurally; other callers start from a
+        validated message).
+        """
+        self = cls.__new__(cls)
+        d = self.__dict__
+        d["dest"] = dest
+        d["reply"] = reply
+        d["signature"] = signature
+        d["command"] = command
+        d["status"] = status
+        d["offset"] = offset
+        d["size"] = size
+        d["capability"] = capability
+        d["data"] = data
+        d["is_reply"] = is_reply
+        d["extra_caps"] = extra_caps
+        d["sealed_caps"] = sealed_caps
+        return self
+
+    def _evolve(self, **changes):
+        """A trusted shallow copy: ``copy()`` without re-validation.
+
+        For internal paths (F-box egress, ``trans``, reply signing) whose
+        replacement values are Ports or already-validated fields.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__ = merged = self.__dict__ | changes
+        if len(merged) != len(self.__dict__):
+            # A stray key grew the dict: some change is not a field.
+            raise TypeError(
+                "unknown message field(s): %s"
+                % ", ".join(sorted(set(changes) - set(self.__dict__)))
+            )
+        return clone
+
     def copy(self, **changes):
         """A (possibly modified) copy — the intruder toolkit's bread and
-        butter, and how the F-box emits transformed messages without
-        mutating the sender's original."""
+        butter.  Runs full validation, since the changes may be hostile."""
         return replace(self, **changes)
 
     def reply_to(self, **changes):
         """Build a reply template addressed to this request's reply port.
 
         The reply port in a received request is already the one-way image
-        F(G'), i.e. a put-port the responder can use directly.
+        F(G'), i.e. a put-port the responder can use directly.  This is a
+        trusted path: the request was validated on construction and the
+        changes come from server code, so only the cheap str coercion of
+        ``data`` is kept.
         """
-        fields = dict(
-            dest=self.reply,
-            reply=NULL_PORT,
-            signature=NULL_PORT,
-            command=self.command,
-            status=0,
-            is_reply=True,
-        )
-        fields.update(changes)
-        return Message(**fields)
+        # _REPLY_DEFAULTS is snapshotted from a real default Message at
+        # import time, so a field added to the dataclass later is
+        # automatically present here with its declared default.
+        fields = dict(_REPLY_DEFAULTS)
+        fields["dest"] = self.reply
+        fields["command"] = self.command
+        if changes:
+            fields.update(changes)
+            if len(fields) != len(_REPLY_DEFAULTS):
+                # A stray key grew the dict: a typo'd kwarg, which the
+                # old Message(**fields) path would have rejected too.
+                raise TypeError(
+                    "unknown message field(s): %s"
+                    % ", ".join(sorted(set(changes) - set(_REPLY_DEFAULTS)))
+                )
+            # The numeric fields are the one place handler-supplied values
+            # enter this trusted path; guard them so a buggy handler gets
+            # a ValueError here (inside the dispatch loop's try) instead
+            # of a corrupt reply or a struct.error after it.  All three
+            # checks are skipped in the all-defaults hot case.
+            command = fields["command"]
+            if command and not 0 <= command < (1 << 16):
+                raise ValueError("command %d outside u16" % command)
+            status = fields["status"]
+            if status and not 0 <= status < (1 << 16):
+                raise ValueError("status %d outside u16" % status)
+            offset = fields["offset"]
+            if offset and not 0 <= offset < (1 << 64):
+                raise ValueError("offset %d outside u64" % offset)
+            size = fields["size"]
+            if size and not 0 <= size < (1 << 32):
+                raise ValueError("size %d outside u32" % size)
+            data = fields["data"]
+            if isinstance(data, str):
+                fields["data"] = data.encode("utf-8")
+        reply = Message.__new__(Message)
+        reply.__dict__ = fields
+        return reply
 
     def __repr__(self):
         kind = "reply" if self.is_reply else "request"
@@ -215,3 +338,10 @@ class Message:
             self.status,
             len(self.data),
         )
+
+
+#: The canonical field defaults for a reply template (see reply_to),
+#: taken from an actual default-constructed Message so the set of fields
+#: can never drift from the dataclass definition.
+_REPLY_DEFAULTS = dict(Message().__dict__)
+_REPLY_DEFAULTS["is_reply"] = True

@@ -16,19 +16,22 @@ interface hardware" (§2.4).  The simulator enforces exactly that:
 """
 
 import itertools
-from dataclasses import dataclass
-from typing import Optional
+from bisect import insort
+from typing import NamedTuple, Optional
 
 from repro.net.message import Message
 
 
-@dataclass(frozen=True)
-class Frame:
+class Frame(NamedTuple):
     """One frame as it appears on the wire.
 
     ``src`` is the network-stamped source machine address.  ``dst_machine``
     is ``None`` for ordinary port-addressed frames (the hardware filter
     decides who takes it) and a machine address for located unicasts.
+
+    A named tuple rather than a dataclass: frames are created twice per
+    transaction on the hot path, and tuple construction is several times
+    cheaper while staying just as immutable.
     """
 
     src: int
@@ -43,7 +46,15 @@ class SimNetwork:
         self._nics = {}
         self._addresses = itertools.count(1)
         self._taps = []
+        self._tap_owners = {}
         self._round_robin = {}
+        # Routing index: wire port -> sorted [machine address, ...] of
+        # stations with a GET outstanding for it.  NICs keep it current
+        # through register_listener/unregister_listener, so port-addressed
+        # delivery is one dict lookup instead of a scan of every station.
+        self._listeners = {}
+        # Reverse index for O(ports-of-machine) cleanup on detach.
+        self._ports_by_addr = {}
         # Wire statistics, reset via reset_stats().
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -58,15 +69,72 @@ class SimNetwork:
         """Attach a NIC and assign its (unforgeable) machine address."""
         address = next(self._addresses)
         self._nics[address] = nic
+        self._ports_by_addr[address] = set()
         return address
 
     def detach(self, address):
-        """Remove a machine from the network (e.g. simulating a crash)."""
+        """Remove a machine from the network (e.g. simulating a crash).
+
+        Everything keyed by the machine goes with it: its routing-index
+        entries, any now-idle round-robin counters, and any wiretaps it
+        registered with ``owner=address`` — long simulations with churn
+        must not accumulate state for dead stations.
+        """
         self._nics.pop(address, None)
+        for port in self._ports_by_addr.pop(address, ()):
+            self._drop_listener(address, port)
+        for tap in self._tap_owners.pop(address, ()):
+            if tap in self._taps:
+                self._taps.remove(tap)
 
     def addresses(self):
         """Snapshot of attached machine addresses."""
         return sorted(self._nics)
+
+    # ------------------------------------------------------------------
+    # routing index (maintained by NICs)
+    # ------------------------------------------------------------------
+
+    def register_listener(self, address, wire_port):
+        """Record that ``address`` has a GET outstanding for ``wire_port``."""
+        ports = self._ports_by_addr.get(address)
+        if ports is None:
+            return  # detached machine; nothing to route to
+        ports.add(wire_port)
+        takers = self._listeners.get(wire_port)
+        if takers is None:
+            self._listeners[wire_port] = [address]
+        elif address not in takers:
+            insort(takers, address)
+
+    def unregister_listener(self, address, wire_port):
+        """Withdraw a GET registration (port unlistened or server stopped)."""
+        ports = self._ports_by_addr.get(address)
+        if ports is not None:
+            ports.discard(wire_port)
+        # Inlined fast path for the overwhelmingly common case — the
+        # port's only listener (a transaction's reply port) going away.
+        takers = self._listeners.get(wire_port)
+        if takers is not None and len(takers) == 1:
+            if takers[0] == address:
+                del self._listeners[wire_port]
+                self._round_robin.pop(wire_port, None)
+            return
+        self._drop_listener(address, wire_port)
+
+    def _drop_listener(self, address, wire_port):
+        takers = self._listeners.get(wire_port)
+        if takers is None:
+            return
+        try:
+            takers.remove(address)
+        except ValueError:
+            return
+        if not takers:
+            # Last listener gone: drop the index entry and the round-robin
+            # counter so per-transaction reply ports cannot accumulate.
+            del self._listeners[wire_port]
+            self._round_robin.pop(wire_port, None)
 
     # ------------------------------------------------------------------
     # wire primitives
@@ -79,11 +147,17 @@ class SimNetwork:
         the caller — this is the §2.4 unforgeability assumption.  Returns
         True if some NIC accepted the frame.
         """
-        frame = Frame(src=src_nic.address, dst_machine=dst_machine, message=message)
+        frame = Frame(src_nic.address, dst_machine, message)
         self.frames_sent += 1
-        for tap in self._taps:
-            tap(frame)
-        delivered = self._route(frame)
+        if self._taps:
+            for tap in self._taps:
+                tap(frame)
+        if dst_machine is not None:
+            # Located unicast, inlined from _route: one dict hit.
+            nic = self._nics.get(dst_machine)
+            delivered = nic is not None and nic.accept(frame)
+        else:
+            delivered = self._route(frame)
         if delivered:
             self.frames_delivered += 1
         else:
@@ -91,24 +165,24 @@ class SimNetwork:
         return delivered
 
     def _route(self, frame):
-        if frame.dst_machine is not None:
-            nic = self._nics.get(frame.dst_machine)
-            return bool(nic) and nic.accept(frame)
+        # Unicast frames are handled inline by send(); only port-addressed
+        # frames reach here.
         # Port-addressed frame: every station sees it; the admission
-        # filters decide.  If several machines listen on the same port
-        # (a multi-server service), rotate among them like a hardware
-        # arbiter would.
-        takers = [
-            addr
-            for addr, nic in sorted(self._nics.items())
-            if nic.admits(frame.message.dest)
-        ]
+        # filters decide.  The listener index answers "who admits this
+        # port" in one lookup — physically every station still receives
+        # the frame (taps above model that), the index only replaces the
+        # per-frame scan of every NIC's filter.  If several machines
+        # listen on the same port (a multi-server service), rotate among
+        # them like a hardware arbiter would.
+        dest = frame.message.dest
+        takers = self._listeners.get(dest)
         if not takers:
             return False
-        start = self._round_robin.get(frame.message.dest, 0)
-        addr = takers[start % len(takers)]
-        self._round_robin[frame.message.dest] = start + 1
-        return self._nics[addr].accept(frame)
+        if len(takers) == 1:
+            return self._nics[takers[0]].accept(frame)
+        start = self._round_robin.get(dest, 0)
+        self._round_robin[dest] = start + 1
+        return self._nics[takers[start % len(takers)]].accept(frame)
 
     def broadcast(self, src_nic, message):
         """Deliver a frame to every station's broadcast handler (LOCATE)."""
@@ -128,12 +202,27 @@ class SimNetwork:
     # intruder instrumentation
     # ------------------------------------------------------------------
 
-    def add_tap(self, callback):
-        """Register a promiscuous wiretap; it sees every frame verbatim."""
+    def add_tap(self, callback, owner=None):
+        """Register a promiscuous wiretap; it sees every frame verbatim.
+
+        ``owner`` optionally ties the tap to a machine address so that
+        :meth:`detach` of that machine also removes the tap (an intruder's
+        wall-socket tap dies with its station).
+        """
         self._taps.append(callback)
+        if owner is not None:
+            self._tap_owners.setdefault(owner, []).append(callback)
 
     def remove_tap(self, callback):
-        self._taps.remove(callback)
+        """Remove a tap; a no-op if it is already gone (e.g. its owning
+        machine detached first)."""
+        if callback in self._taps:
+            self._taps.remove(callback)
+        for owner, taps in list(self._tap_owners.items()):
+            if callback in taps:
+                taps.remove(callback)
+                if not taps:
+                    del self._tap_owners[owner]
 
     # ------------------------------------------------------------------
     # statistics

@@ -35,8 +35,11 @@ class Nic:
         self.fbox = fbox or FBox()
         self.network = network
         self.address = network.attach(self)
-        self._queues = {}
-        self._handlers = {}
+        # One sink per admitted wire port: a deque (client GET, frames
+        # queue) or a callable (server GET, frames dispatch immediately).
+        # A single dict keeps the admission check and delivery to one
+        # lookup each on the per-frame path.
+        self._sinks = {}
         self._broadcast_handlers = []
         #: Per-NIC counters (frames in/out) for experiments.
         self.sent = 0
@@ -54,7 +57,17 @@ class Nic:
         """
         on_wire = self.fbox.transform_egress(message)
         self.sent += 1
-        return self.network.send(self, on_wire, dst_machine=dst_machine)
+        return self.network.send(self, on_wire, dst_machine)
+
+    def put_owned(self, message, dst_machine=None):
+        """PUT a message the caller owns outright (it was built privately
+        and is never touched again): the F-box transform runs in place,
+        folding away one copy.  The transformation itself is exactly
+        :meth:`put`'s — there is still no untransformed path to the wire.
+        """
+        on_wire = self.fbox.transform_egress_owned(message)
+        self.sent += 1
+        return self.network.send(self, on_wire, dst_machine)
 
     def put_broadcast(self, message):
         """Broadcast a (transformed) frame to every station — LOCATE etc."""
@@ -72,26 +85,39 @@ class Nic:
         ``port`` is whatever the caller believes is a get-port.  The F-box
         one-ways it unconditionally, which is precisely why knowing a
         put-port P does not let anyone receive the server's traffic.
+
+        The first GET for a port registers it in the network's routing
+        index; the index mirrors :meth:`admits` exactly (registered iff
+        admitted), which is the invariant indexed routing relies on.
         """
         wire_port = self.fbox.listen_port(as_port(port))
-        self._queues.setdefault(wire_port, deque())
+        if wire_port not in self._sinks:
+            self._sinks[wire_port] = deque()
+            self.network.register_listener(self.address, wire_port)
         return wire_port
 
     def unlisten(self, port):
         """Withdraw a GET (by the same value passed to :meth:`listen`)."""
-        wire_port = self.fbox.listen_port(as_port(port))
-        self._queues.pop(wire_port, None)
-        self._handlers.pop(wire_port, None)
+        self.unlisten_wire(self.fbox.listen_port(as_port(port)))
 
     def serve(self, port, handler):
         """GET with a request handler: frames for F(port) invoke
         ``handler(frame)`` immediately instead of queueing.
 
         This models a server process blocked in GET; the simulated kernel
-        runs the handler synchronously on delivery.
+        runs the handler synchronously on delivery.  Frames already
+        queued by an earlier listen() on the same port are the server's
+        backlog: they are drained into the handler here rather than
+        stranded.
         """
         wire_port = self.fbox.listen_port(as_port(port))
-        self._handlers[wire_port] = handler
+        backlog = self._sinks.get(wire_port)
+        if backlog is None:
+            self.network.register_listener(self.address, wire_port)
+        self._sinks[wire_port] = handler
+        if type(backlog) is deque:
+            while backlog:
+                handler(backlog.popleft())
         return wire_port
 
     def on_broadcast(self, handler):
@@ -108,21 +134,18 @@ class Nic:
 
     def admits(self, port):
         """Hardware admission filter: do we have a GET outstanding for it?"""
-        return port in self._queues or port in self._handlers
+        return port in self._sinks
 
     def accept(self, frame):
         """Deliver one admitted frame (called only by the network)."""
-        port = frame.message.dest
-        handler = self._handlers.get(port)
-        self.received += 1
-        if handler is not None:
-            handler(frame)
-            return True
-        queue = self._queues.get(port)
-        if queue is None:
-            self.received -= 1
+        sink = self._sinks.get(frame.message.dest)
+        if sink is None:
             return False
-        queue.append(frame)
+        self.received += 1
+        if type(sink) is deque:
+            sink.append(frame)
+        else:
+            sink(frame)
         return True
 
     def accept_broadcast(self, frame):
@@ -144,20 +167,33 @@ class Nic:
         ``port`` is the same value passed to :meth:`listen` (the secret),
         not the wire port.
         """
-        wire_port = self.fbox.listen_port(as_port(port))
-        queue = self._queues.get(wire_port)
-        if not queue:
-            return None
-        return queue.popleft()
+        return self.poll_wire(self.fbox.listen_port(as_port(port)))
+
+    # ------------------------------------------------------------------
+    # wire-port fast lane (used by trans, which holds the wire port that
+    # listen() returned and need not re-derive F(secret) per operation)
+    # ------------------------------------------------------------------
+
+    def poll_wire(self, wire_port):
+        """Like :meth:`poll`, keyed by the wire port listen() returned."""
+        sink = self._sinks.get(wire_port)
+        if sink and type(sink) is deque:
+            return sink.popleft()
+        return None
+
+    def unlisten_wire(self, wire_port):
+        """Like :meth:`unlisten`, keyed by the wire port listen() returned."""
+        if self._sinks.pop(wire_port, None) is not None:
+            self.network.unregister_listener(self.address, wire_port)
 
     def pending(self, port):
         """Number of queued frames for GET(port)."""
         wire_port = self.fbox.listen_port(as_port(port))
-        queue = self._queues.get(wire_port)
-        return len(queue) if queue else 0
+        sink = self._sinks.get(wire_port)
+        return len(sink) if type(sink) is deque else 0
 
     def __repr__(self):
         return "Nic(address=%d, listening=%d ports)" % (
             self.address,
-            len(self._queues) + len(self._handlers),
+            len(self._sinks),
         )

@@ -80,6 +80,10 @@ class SocketNode:
             self._sock.sendto(raw, peer)
         return bool(peers)
 
+    # Same signature as Nic.put_owned; serialisation makes the copy
+    # question moot here, so the plain path is reused.
+    put_owned = put
+
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
@@ -91,21 +95,34 @@ class SocketNode:
         return wire_port
 
     def unlisten(self, port):
-        wire_port = self.fbox.listen_port(as_port(port))
-        with self._lock:
-            self._queues.pop(wire_port, None)
-            self._handlers.pop(wire_port, None)
+        self.unlisten_wire(self.fbox.listen_port(as_port(port)))
 
     def serve(self, port, handler):
-        """Register a request handler; it runs on the pump thread."""
+        """Register a request handler; it runs on the pump thread.
+
+        As with :meth:`Nic.serve`, frames queued by an earlier listen()
+        on the same port are the server's backlog and are drained into
+        the handler (outside the lock, mirroring pump-thread dispatch).
+        """
         wire_port = self.fbox.listen_port(as_port(port))
         with self._lock:
+            backlog = self._queues.pop(wire_port, None)
             self._handlers[wire_port] = handler
+        while backlog is not None:
+            try:
+                frame = backlog.get_nowait()
+            except queue.Empty:
+                break
+            handler(frame)
         return wire_port
 
     def poll(self, port, timeout=None):
         """Next admitted frame for GET(port), blocking up to ``timeout``."""
         wire_port = self.fbox.listen_port(as_port(port))
+        return self.poll_wire(wire_port, timeout)
+
+    def poll_wire(self, wire_port, timeout=None):
+        """Like :meth:`poll`, keyed by the wire port listen() returned."""
         with self._lock:
             q = self._queues.get(wire_port)
         if q is None:
@@ -114,6 +131,12 @@ class SocketNode:
             return q.get(block=timeout is not None and timeout > 0, timeout=timeout)
         except queue.Empty:
             return None
+
+    def unlisten_wire(self, wire_port):
+        """Like :meth:`unlisten`, keyed by the wire port listen() returned."""
+        with self._lock:
+            self._queues.pop(wire_port, None)
+            self._handlers.pop(wire_port, None)
 
     # ------------------------------------------------------------------
     # pump thread

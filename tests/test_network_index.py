@@ -1,0 +1,234 @@
+"""The routing index and its leak guarantees.
+
+Indexed routing replaced the per-frame scan of every NIC; its soundness
+rests on one invariant — a (machine, port) pair is in the index exactly
+when that NIC's admission filter admits the port — and on pruning: no
+index entries, round-robin counters, or owned taps may survive the
+machine or GET they belong to.
+"""
+
+from repro.core.ports import Port, PrivatePort
+from repro.crypto.randomsrc import RandomSource
+from repro.ipc.rpc import trans
+from repro.ipc.server import ObjectServer, command
+from repro.ipc.stdops import USER_BASE
+from repro.net.intruder import Intruder
+from repro.net.message import Message
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+
+
+class Echo(ObjectServer):
+    service_name = "echo"
+
+    @command(USER_BASE)
+    def _echo(self, ctx):
+        return ctx.ok(data=ctx.request.data)
+
+
+class TestIndexMirrorsAdmission:
+    def test_listen_registers(self):
+        net = SimNetwork()
+        nic = Nic(net)
+        wire = nic.listen(Port(5))
+        assert net._listeners[wire] == [nic.address]
+        assert nic.admits(wire)
+
+    def test_unlisten_unregisters(self):
+        net = SimNetwork()
+        nic = Nic(net)
+        wire = nic.listen(Port(5))
+        nic.unlisten(Port(5))
+        assert wire not in net._listeners
+        assert not nic.admits(wire)
+
+    def test_serve_registers_and_stop_unregisters(self):
+        net = SimNetwork()
+        server = Echo(Nic(net), rng=RandomSource(seed=1)).start()
+        wire = server.node.fbox.listen_port(Port(server.get_port.secret))
+        assert net._listeners[wire] == [server.node.address]
+        server.stop()
+        assert wire not in net._listeners
+
+    def test_double_listen_registers_once(self):
+        net = SimNetwork()
+        nic = Nic(net)
+        wire = nic.listen(Port(5))
+        assert nic.listen(Port(5)) == wire
+        assert net._listeners[wire] == [nic.address]
+        nic.unlisten(Port(5))
+        assert wire not in net._listeners
+
+    def test_listen_then_serve_single_entry(self):
+        net = SimNetwork()
+        nic = Nic(net)
+        wire = nic.listen(Port(5))
+        nic.serve(Port(5), lambda frame: None)
+        assert net._listeners[wire] == [nic.address]
+        nic.unlisten(Port(5))
+        assert wire not in net._listeners
+
+
+class TestRoutingThroughIndex:
+    def test_port_addressed_delivery(self):
+        net = SimNetwork()
+        a, b = Nic(net), Nic(net)
+        wire = b.listen(Port(5))
+        assert a.put(Message(dest=wire))
+        assert b.poll(Port(5)) is not None
+
+    def test_round_robin_still_rotates(self):
+        net = SimNetwork()
+        a = Nic(net)
+        s1, s2, s3 = Nic(net), Nic(net), Nic(net)
+        g = PrivatePort(5)
+        wire = s1.listen(g)
+        s2.listen(g)
+        s3.listen(g)
+        for _ in range(6):
+            a.put(Message(dest=wire))
+        assert [s.pending(g) for s in (s1, s2, s3)] == [2, 2, 2]
+
+    def test_detached_machine_not_routed_to(self):
+        net = SimNetwork()
+        a = Nic(net)
+        s1, s2 = Nic(net), Nic(net)
+        g = PrivatePort(5)
+        wire = s1.listen(g)
+        s2.listen(g)
+        net.detach(s1.address)
+        for _ in range(4):
+            assert a.put(Message(dest=wire))
+        assert s2.pending(g) == 4
+        assert s1.pending(g) == 0
+
+    def test_drop_when_no_listener(self):
+        net = SimNetwork()
+        a = Nic(net)
+        assert not a.put(Message(dest=Port(404)))
+        assert net.frames_dropped == 1
+
+
+class TestLeakPruning:
+    def test_transactions_leave_no_residue(self):
+        net = SimNetwork()
+        server = Echo(Nic(net), rng=RandomSource(seed=1)).start()
+        client = Nic(net)
+        rng = RandomSource(seed=2)
+        request = Message(command=USER_BASE, data=b"x")
+        for _ in range(200):
+            trans(client, server.put_port, request, rng)
+        # Only the server's own GET remains; per-transaction reply ports
+        # and their round-robin counters are gone.
+        assert len(net._listeners) == 1
+        assert net._round_robin == {}
+        assert len(client._sinks) == 0
+
+    def test_round_robin_counter_pruned_with_last_listener(self):
+        net = SimNetwork()
+        a = Nic(net)
+        s1, s2 = Nic(net), Nic(net)
+        g = PrivatePort(5)
+        wire = s1.listen(g)
+        s2.listen(g)
+        for _ in range(4):
+            a.put(Message(dest=wire))
+        assert wire in net._round_robin
+        s1.unlisten(g)
+        s2.unlisten(g)
+        assert wire not in net._round_robin
+        assert wire not in net._listeners
+
+    def test_detach_prunes_index_and_counters(self):
+        net = SimNetwork()
+        a = Nic(net)
+        listeners = [Nic(net) for _ in range(5)]
+        g = PrivatePort(5)
+        wire = listeners[0].listen(g)
+        for nic in listeners[1:]:
+            nic.listen(g)
+        for _ in range(3):
+            a.put(Message(dest=wire))
+        for nic in listeners:
+            net.detach(nic.address)
+        assert net._listeners == {}
+        assert net._round_robin == {}
+        assert net._ports_by_addr.keys() == {a.address}
+
+    def test_detach_removes_owned_taps(self):
+        net = SimNetwork()
+        sender, receiver = Nic(net), Nic(net)
+        intruder = Intruder(net)
+        intruder.start_capture()
+        wire = receiver.listen(Port(5))
+        sender.put(Message(dest=wire))
+        assert len(intruder.captured) == 1
+        net.detach(intruder.address)
+        sender.put(Message(dest=wire))
+        assert len(intruder.captured) == 1  # tap died with the machine
+        assert net._taps == []
+
+    def test_unowned_taps_survive_detach(self):
+        net = SimNetwork()
+        sender, receiver = Nic(net), Nic(net)
+        seen = []
+        net.add_tap(seen.append)
+        net.detach(receiver.address)
+        sender.put(Message(dest=Port(1)))
+        assert len(seen) == 1
+
+    def test_remove_tap_clears_ownership(self):
+        net = SimNetwork()
+        nic = Nic(net)
+        seen = []
+        net.add_tap(seen.append, owner=nic.address)
+        net.remove_tap(seen.append)
+        assert net._taps == []
+        assert net._tap_owners == {}
+
+    def test_stop_capture_after_detach_is_noop(self):
+        # detach() already removed the owned tap; stop_capture must not
+        # crash on the second removal.
+        net = SimNetwork()
+        intruder = Intruder(net)
+        intruder.start_capture()
+        net.detach(intruder.address)
+        intruder.stop_capture()
+        assert net._taps == []
+
+
+class TestServeBacklog:
+    def test_serve_drains_frames_queued_by_listen(self):
+        net = SimNetwork()
+        sender, receiver = Nic(net), Nic(net)
+        g = PrivatePort(5)
+        wire = receiver.listen(g)
+        sender.put(Message(dest=wire, data=b"early"))
+        assert receiver.pending(g) == 1
+        handled = []
+        receiver.serve(g, handled.append)
+        # The queued frame became the handler's backlog, not a stranded
+        # entry in a replaced queue.
+        assert [f.message.data for f in handled] == [b"early"]
+        sender.put(Message(dest=wire, data=b"late"))
+        assert [f.message.data for f in handled] == [b"early", b"late"]
+
+
+class TestReplyFieldGuard:
+    def test_bad_handler_offset_becomes_error_reply(self):
+        # A buggy handler returning an out-of-range offset must produce a
+        # proper error reply, not a silently corrupt success.
+        class Buggy(ObjectServer):
+            service_name = "buggy"
+
+            @command(USER_BASE)
+            def _bad(self, ctx):
+                return ctx.ok(offset=-1)
+
+        net = SimNetwork()
+        server = Buggy(Nic(net), rng=RandomSource(seed=1)).start()
+        client = Nic(net)
+        reply = trans(client, server.put_port, Message(command=USER_BASE),
+                      RandomSource(seed=2))
+        assert reply.status != 0
+        assert b"offset" in reply.data
