@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-smoke
+
+## Tier-1 verification: the full test suite, fail-fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick signal while iterating (no integration-marked tests).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not integration"
+
+## Full throughput suite; refreshes BENCH_throughput.json.
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+## CI-sized benchmark pass: proves the harness runs end to end in a few
+## seconds.  Does not overwrite BENCH_throughput.json.
+bench-smoke:
+	$(PYTHON) benchmarks/run_bench.py --smoke

@@ -22,6 +22,14 @@ Workloads
     cycles port-addressed frames across all of them.  This isolates the
     router: pre-index it scanned every NIC per frame, post-index it is one
     dict lookup.
+``pipelined_16_inflight``
+    The §2.1 primitive with 16 transactions in flight through the
+    event-loop delivery engine (``SimNetwork(synchronous=False)`` +
+    ``trans_many``), measured twice: against the full ObjectServer stack
+    (apples-to-apples with ``echo_round_trip``) and against a batch
+    service built directly on the station API (the engine's own floor).
+    Returns None on source trees that predate the engine, so
+    ``--baseline-src`` comparisons skip it cleanly.
 ``stage_timings``
     Per-stage microcosts (one-way F cold/warm, F-box egress, pack,
     unpack) so regressions can be attributed, not just detected.
@@ -29,7 +37,7 @@ Workloads
 
 import time
 
-from repro.core.ports import Port
+from repro.core.ports import Port, PrivatePort
 from repro.crypto.randomsrc import RandomSource
 from repro.ipc.rpc import trans
 from repro.ipc.server import ObjectServer, command
@@ -183,6 +191,76 @@ def routing_scan(n_machines=50, frames=20000, warmup=500):
     }
 
 
+def pipelined_inflight(inflight=16, batches=250, payload=b"payload",
+                       warmup=20, repeats=5):
+    """Pipelined transactions through the event-loop delivery engine.
+
+    Two measurements over identical wire traffic:
+
+    * ``trans_per_sec`` — ``trans_many`` against a replicated-shape
+      :class:`EchoServer` (the full ObjectServer dispatch stack), the
+      number to compare with ``echo_round_trip``;
+    * ``primitive_trans_per_sec`` — the same batch against an echo
+      service written directly on the batch station API
+      (``serve_batch`` + ``put_owned_unicast_bulk``), which is what the
+      engine itself costs without the service framework.
+    """
+    try:
+        from repro.ipc.rpc import trans_many
+        net = SimNetwork(synchronous=False, auto_drain=False)
+    except (ImportError, TypeError):
+        return None  # pre-engine source tree (a --baseline-src subrun)
+
+    server = _quiet(EchoServer(Nic(net), rng=RandomSource(seed=1)).start())
+    client = Nic(net)
+    rng = RandomSource(seed=7)
+    requests = [Message(command=USER_BASE, data=payload)] * inflight
+    for _ in range(warmup):
+        trans_many(client, server.put_port, requests, rng)
+    total = inflight * batches
+
+    def measured():
+        for _ in range(batches):
+            trans_many(client, server.put_port, requests, rng)
+
+    net.reset_stats()
+    elapsed = _best_of(repeats, measured)
+    frames = net.frames_sent // repeats
+
+    # The primitive-level service: same protocol, no dispatch framework.
+    raw_net = SimNetwork(synchronous=False, auto_drain=False)
+    service = Nic(raw_net)
+
+    def batch_echo(frames_run):
+        out = []
+        append = out.append
+        for frame in frames_run:
+            message = frame.message
+            append((message.reply_to(data=message.data), frame.src))
+        service.put_owned_unicast_bulk(out)
+
+    wire = service.serve_batch(PrivatePort(1111), batch_echo)
+    raw_client = Nic(raw_net)
+    for _ in range(warmup):
+        trans_many(raw_client, wire, requests, rng)
+
+    def measured_raw():
+        for _ in range(batches):
+            trans_many(raw_client, wire, requests, rng)
+
+    raw_elapsed = _best_of(repeats, measured_raw)
+    return {
+        "inflight": inflight,
+        "transactions": total,
+        "frames": frames,
+        "seconds": round(elapsed, 6),
+        "trans_per_sec": round(total / elapsed, 1),
+        "us_per_trans": round(elapsed / total * 1e6, 3),
+        "primitive_trans_per_sec": round(total / raw_elapsed, 1),
+        "primitive_us_per_trans": round(raw_elapsed / total * 1e6, 3),
+    }
+
+
 def stage_timings(iters=20000):
     """Microcosts of the individual wire-path stages, in µs per call."""
     fbox = FBox()
@@ -220,12 +298,26 @@ def stage_timings(iters=20000):
     }
 
 
-#: Stable workload registry consumed by run_bench.py.
+#: Stable workload registry consumed by run_bench.py.  A workload may
+#: return None (API not present on this source tree) and is then omitted
+#: from the results.
 WORKLOADS = {
     "echo_round_trip": echo_round_trip,
     "multi_client_8x4": multi_client,
     "routing_50_machines": routing_scan,
+    "pipelined_16_inflight": pipelined_inflight,
     "stage_timings": stage_timings,
+}
+
+#: Reduced-size keyword overrides for `run_bench.py --smoke`: the same
+#: workloads at a fraction of the iterations, so CI can prove the whole
+#: harness runs in a few seconds without fighting benchmark noise.
+SMOKE_OVERRIDES = {
+    "echo_round_trip": {"n": 400, "warmup": 50, "repeats": 2},
+    "multi_client_8x4": {"requests": 25, "warmup": 8},
+    "routing_50_machines": {"frames": 2000, "warmup": 100},
+    "pipelined_16_inflight": {"batches": 25, "warmup": 4, "repeats": 2},
+    "stage_timings": {"iters": 2000},
 }
 
 

@@ -31,21 +31,45 @@ _REPO = os.path.dirname(_HERE)
 SCHEMA = "bench_throughput/v1"
 
 
-def run_workloads():
-    from bench_throughput import WORKLOADS
+def run_workloads(smoke=False):
+    from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
 
     results = {}
     for name, workload in WORKLOADS.items():
-        results[name] = workload()
+        kwargs = SMOKE_OVERRIDES.get(name, {}) if smoke else {}
+        result = workload(**kwargs)
+        if result is not None:  # None = API absent on this source tree
+            results[name] = result
+    _derive_ratios(results)
     return results
 
 
-def run_in_tree(src_dir):
+def _derive_ratios(results):
+    """In-run comparison keys: pipelined vs the same run's serial echo."""
+    pipelined = results.get("pipelined_16_inflight")
+    echo = results.get("echo_round_trip")
+    if not pipelined or not echo:
+        return
+    serial = echo.get("trans_per_sec")
+    if not serial:
+        return
+    pipelined["vs_serial_echo_x"] = round(
+        pipelined["trans_per_sec"] / serial, 2
+    )
+    primitive = pipelined.get("primitive_trans_per_sec")
+    if primitive:
+        pipelined["primitive_vs_serial_echo_x"] = round(primitive / serial, 2)
+
+
+def run_in_tree(src_dir, smoke=False):
     """Run the same workloads against another source tree, in a subprocess."""
     env = dict(os.environ)
     env["PYTHONPATH"] = src_dir
+    argv = [sys.executable, os.path.abspath(__file__), "--emit-raw"]
+    if smoke:
+        argv.append("--smoke")
     out = subprocess.run(
-        [sys.executable, os.path.abspath(__file__), "--emit-raw"],
+        argv,
         env=env,
         cwd=_HERE,
         capture_output=True,
@@ -105,14 +129,22 @@ def main(argv=None):
         action="store_true",
         help="also run the pytest-benchmark suite over bench_throughput.py",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast mode for CI: tiny iteration counts that prove the "
+        "harness runs end to end; results are printed, and written to "
+        "--json only when that flag is passed explicitly",
+    )
     args = parser.parse_args(argv)
+    json_is_default = args.json == parser.get_default("json")
 
     sys.path.insert(0, _HERE)
     if args.emit_raw:
-        json.dump(run_workloads(), sys.stdout)
+        json.dump(run_workloads(smoke=args.smoke), sys.stdout)
         return 0
 
-    current = run_workloads()
+    current = run_workloads(smoke=args.smoke)
     report = {
         "schema": SCHEMA,
         "python": "%d.%d.%d" % sys.version_info[:3],
@@ -120,7 +152,7 @@ def main(argv=None):
     }
     if args.baseline_src:
         try:
-            baseline = run_in_tree(args.baseline_src)
+            baseline = run_in_tree(args.baseline_src, smoke=args.smoke)
         except subprocess.CalledProcessError as exc:
             sys.stderr.write(
                 "baseline run against %r failed:\n%s\n"
@@ -132,14 +164,21 @@ def main(argv=None):
             report["baseline_label"] = args.baseline_label
         report["speedup"] = speedups(current, baseline)
 
-    with open(args.json, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote %s" % args.json)
+    if args.smoke and json_is_default:
+        print("smoke mode: results not written (pass --json to keep them)")
+    else:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
     for name, result in sorted(current.items()):
         headline = result.get("trans_per_sec") or result.get("frames_per_sec")
         if headline:
             print("  %-24s %12.0f /sec" % (name, headline))
+    pipelined = current.get("pipelined_16_inflight", {})
+    for key in ("vs_serial_echo_x", "primitive_vs_serial_echo_x"):
+        if key in pipelined:
+            print("  %-24s %11.2fx" % (key, pipelined[key]))
     for name, ratio in sorted(report.get("speedup", {}).items()):
         print("  %-24s %11.2fx" % (name, ratio))
 

@@ -8,7 +8,7 @@ There are no connections or long-lived communication structures.
 
 from repro.ipc.client import ServiceClient
 from repro.ipc.locate import Locator, install_locate_responder
-from repro.ipc.rpc import trans
+from repro.ipc.rpc import AsyncTrans, trans, trans_many
 from repro.ipc.server import ObjectServer, RequestContext, command
 from repro.ipc.stdops import (
     HERE,
@@ -23,6 +23,7 @@ from repro.ipc.stdops import (
 )
 
 __all__ = [
+    "AsyncTrans",
     "HERE",
     "LOCATE",
     "Locator",
@@ -39,4 +40,5 @@ __all__ = [
     "command",
     "install_locate_responder",
     "trans",
+    "trans_many",
 ]

@@ -1,10 +1,18 @@
-"""The blocking transaction primitive (§2.1).
+"""The transaction primitives (§2.1): blocking and pipelined.
 
 ``trans`` is the whole client-side protocol: pick a fresh reply get-port
 G', listen on it, send the request with G' in the reply field (the F-box
 puts F(G') on the wire), and block for the reply.  A fresh G' per
 transaction means stale replies from earlier transactions land on ports
 nobody listens to — the system needs no sequence numbers.
+
+``trans_many`` / :class:`AsyncTrans` keep the identical per-transaction
+protocol — fresh G' per request, same F-box transformation, same
+signature screening — but split *issue* from *collect*, so N requests can
+be in flight before the first reply is consumed.  On a deferred-delivery
+network (``SimNetwork(synchronous=False)``) the requests genuinely queue
+and pipeline through the event loop; on a synchronous network or over UDP
+sockets the API still works, it just overlaps less.
 
 Replies may optionally be authenticated against a server's published
 signature image F(S): forged replies (which *are* deliverable, since the
@@ -14,9 +22,11 @@ and are discarded.  This is the digital-signature mechanism of §2.2.
 
 import time
 
-from repro.core.ports import Port, as_port
+from repro.core.ports import PORT_BYTES, Port, as_port
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import PortNotLocated, RPCTimeout
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
 
 _DEFAULT_RNG = RandomSource()
 
@@ -121,13 +131,302 @@ def trans(
 
 
 def _poll_blocking(node, wire_port, remaining):
-    """Poll a station; the simulator is synchronous, sockets block."""
+    """Poll a station: sockets block with a timeout, the simulator pumps.
+
+    Feature-detected once through the station's ``supports_poll_timeout``
+    capability attribute (Nic: False, SocketNode: True) — the old probe
+    caught TypeError around the whole poll, which silently swallowed a
+    genuine TypeError raised *inside* delivery and turned it into a bogus
+    RPCTimeout.
+    """
     if remaining <= 0:
         return None
-    try:
+    if getattr(node, "supports_poll_timeout", False):
         return node.poll_wire(wire_port, timeout=remaining)
-    except TypeError:
-        # The simulated Nic has no timeout concept: delivery already
-        # happened synchronously during put(), so an empty queue now is
-        # final.
+    # No timeout concept: delivery happens during put() (synchronous) or
+    # during pump() (deferred), never later — drain whatever is still
+    # queued, then the poll's answer is final.
+    pump = getattr(node, "pump", None)
+    if pump is not None:
+        pump()
+    return node.poll_wire(wire_port)
+
+
+# ----------------------------------------------------------------------
+# pipelined transactions
+# ----------------------------------------------------------------------
+
+
+class AsyncTrans:
+    """One in-flight transaction: issued on construction, collected later.
+
+    The constructor runs the issue half of :func:`trans` — fresh reply
+    secret, GET on it, request evolved and PUT through the F-box — and
+    returns with the transaction in flight.  :meth:`result` runs the
+    collect half.  Between the two, any number of sibling transactions
+    may be issued on the same station; each holds its own fresh reply
+    port, so replies cannot cross (§2.1's freshness argument, unchanged).
+
+    ``reply_secret`` is for internal batch issuers (``trans_many`` draws
+    one pooled block of randomness for a whole batch); ordinary callers
+    leave it None and the constructor draws from ``rng``.
+    """
+
+    __slots__ = ("node", "wire_reply", "expect_signature", "_reply")
+
+    def __init__(
+        self,
+        node,
+        dest_port,
+        request,
+        rng=None,
+        expect_signature=None,
+        dst_machine=None,
+        signature=None,
+        reply_secret=None,
+    ):
+        if reply_secret is None:
+            reply_secret = Port.random(rng or _DEFAULT_RNG)
+        self.node = node
+        self.expect_signature = expect_signature
+        self._reply = None
+        wire_reply = self.wire_reply = node.listen(reply_secret)
+        try:
+            if signature is None:
+                outgoing = request._evolve(
+                    dest=as_port(dest_port), reply=reply_secret, is_reply=False
+                )
+            else:
+                outgoing = request._evolve(
+                    dest=as_port(dest_port),
+                    reply=reply_secret,
+                    signature=as_port(signature),
+                    is_reply=False,
+                )
+            accepted = node.put_owned(outgoing, dst_machine)
+            if not accepted and dst_machine is None:
+                raise PortNotLocated(
+                    "no server is listening on port %r" % as_port(dest_port)
+                )
+        except BaseException:
+            node.unlisten_wire(wire_reply)
+            raise
+
+    @property
+    def done(self):
+        """True once an acceptable reply has been collected."""
+        return self._reply is not None
+
+    def _screen(self, frame):
+        """Accept or discard one candidate reply frame; returns the reply
+        message (after signature screening) or None."""
+        expect = self.expect_signature
+        while frame is not None:
+            reply = frame.message
+            if expect is None or reply.signature == expect:
+                self._reply = reply
+                self.node.unlisten_wire(self.wire_reply)
+                return reply
+            frame = self.node.poll_wire(self.wire_reply)
         return None
+
+    def poll(self):
+        """Non-blocking: the reply if it has arrived, else None.
+
+        Does not pump the network; combine with ``node.pump()`` for
+        manual scheduling.
+        """
+        if self._reply is not None:
+            return self._reply
+        return self._screen(self.node.poll_wire(self.wire_reply))
+
+    def result(self, timeout=2.0):
+        """Collect the reply, driving delivery as needed.
+
+        On a deferred simulator this pumps the event loop; over sockets
+        it blocks on the reply queue.  Raises :class:`RPCTimeout` when no
+        acceptable reply arrives, after withdrawing the reply GET.
+        """
+        reply = self.poll()
+        if reply is not None:
+            return reply
+        node = self.node
+        if getattr(node, "supports_poll_timeout", False):
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                frame = node.poll_wire(self.wire_reply, timeout=remaining)
+                if frame is None:
+                    break
+                reply = self._screen(frame)
+                if reply is not None:
+                    return reply
+        else:
+            # Deterministic simulator: pump until the reply lands or no
+            # frames remain — an empty loop means the reply will never
+            # come, so there is nothing to wait out.
+            while True:
+                progressed = node.pump()
+                reply = self.poll()
+                if reply is not None:
+                    return reply
+                if not progressed:
+                    break
+        self.cancel()
+        raise RPCTimeout(
+            "no reply within %.3fs on wire port %r" % (timeout, self.wire_reply)
+        )
+
+    def cancel(self):
+        """Withdraw the reply GET; idempotent, safe after result()."""
+        if self._reply is None:
+            self.node.unlisten_wire(self.wire_reply)
+
+    def __repr__(self):
+        state = "done" if self._reply is not None else "in flight"
+        return "AsyncTrans(%s, wire_reply=%r)" % (state, self.wire_reply)
+
+
+def trans_many(
+    node,
+    dest_port,
+    requests,
+    rng=None,
+    timeout=2.0,
+    expect_signature=None,
+    dst_machine=None,
+    signature=None,
+):
+    """Issue every request with its own fresh reply port, then collect.
+
+    The pipelined counterpart of :func:`trans`: all N requests are put on
+    the wire (or the event-loop queues) before the first reply is
+    awaited, and the replies come back in request order.  The reply
+    secrets for the whole batch are drawn from one pooled randomness
+    read, so issuing is O(N) dict work plus exactly N F-box transforms.
+
+    Raises whatever the underlying transactions raise; on any failure all
+    outstanding reply GETs are withdrawn, so a failed batch leaves no
+    listener-index residue.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    dest = as_port(dest_port)
+    rng = rng or _DEFAULT_RNG
+    secrets = _draw_secrets(rng, len(requests))
+    if (
+        type(node) is Nic
+        and type(node.network) is SimNetwork
+        and node.network._loop is not None
+    ):
+        for _ in range(4):
+            replies = _trans_many_fused(
+                node, dest, requests, secrets, expect_signature,
+                dst_machine, signature,
+            )
+            if replies is not None:
+                return replies
+            # A wire-port collision inside the batch (or with an
+            # existing GET).  With 48-bit random ports this is a
+            # cosmic-ray case; redrawing fresh secrets resolves it —
+            # sharing a sink would cross two transactions' replies.
+            secrets = _draw_secrets(rng, len(requests))
+        # Randomness is demonstrably broken (four colliding batches);
+        # the sequential path below has exactly trans()'s behavior.
+    calls = []
+    try:
+        for request, secret in zip(requests, secrets):
+            calls.append(
+                AsyncTrans(
+                    node,
+                    dest,
+                    request,
+                    expect_signature=expect_signature,
+                    dst_machine=dst_machine,
+                    signature=signature,
+                    reply_secret=secret,
+                )
+            )
+        return [call.result(timeout) for call in calls]
+    except BaseException:
+        for call in calls:
+            call.cancel()
+        raise
+
+
+def _draw_secrets(rng, n):
+    """N fresh reply secrets from one pooled randomness read."""
+    raw = rng.bytes(PORT_BYTES * n)
+    if len(raw) != PORT_BYTES * n:
+        raise ValueError("random source returned a short read")
+    return [
+        Port._unchecked(
+            int.from_bytes(raw[i * PORT_BYTES:(i + 1) * PORT_BYTES], "big")
+        )
+        for i in range(n)
+    ]
+
+
+def _trans_many_fused(node, dest, requests, secrets, expect_signature,
+                      dst_machine, signature):
+    """The batch lane for a Nic on a deferred-delivery SimNetwork.
+
+    Protocol-identical to N AsyncTrans (fresh reply port each, same F-box
+    transformation per message, same signature screening) but issued and
+    collected batchwise: one listen_fresh for all reply ports, one
+    put_owned_bulk onto one ingress queue, one drain, one take_many.
+    Returns None when the batch cannot take the lane (reply-port
+    collision), which sends the caller down the generic path.
+    """
+    wires = node.listen_fresh(secrets)
+    if wires is None:
+        return None
+    try:
+        sig_port = as_port(signature) if signature is not None else None
+        outgoing = []
+        for request, secret in zip(requests, secrets):
+            if sig_port is None:
+                outgoing.append(
+                    request._evolve(dest=dest, reply=secret, is_reply=False)
+                )
+            else:
+                outgoing.append(
+                    request._evolve(
+                        dest=dest,
+                        reply=secret,
+                        signature=sig_port,
+                        is_reply=False,
+                    )
+                )
+        accepted = node.put_owned_bulk(outgoing, dst_machine)
+        if accepted == 0 and dst_machine is None:
+            raise PortNotLocated(
+                "no server is listening on port %r" % (dest,)
+            )
+        # Drain everything in flight: requests, handler replies, and
+        # whatever those spawn.  The simulator is deterministic, so after
+        # the drain each reply either arrived or never will.
+        node.network._loop.pump()
+        replies = []
+        queues = node.take_many(wires)
+        wires = None  # GETs withdrawn; nothing left to clean on a raise
+        for q in queues:
+            frame = q.popleft() if q else None
+            if expect_signature is not None:
+                while frame is not None and (
+                    frame.message.signature != expect_signature
+                ):
+                    frame = q.popleft() if q else None
+            if frame is None:
+                raise RPCTimeout(
+                    "pipelined transaction got no reply from port %r"
+                    % (dest,)
+                )
+            replies.append(frame.message)
+        return replies
+    finally:
+        if wires is not None:
+            node.take_many(wires)

@@ -44,14 +44,55 @@ def command(opcode):
     return decorate
 
 
+class DeferredReply:
+    """A handle for answering a request after its handler has returned.
+
+    Obtained via :meth:`RequestContext.defer`.  The dispatch loop sends
+    nothing for a deferred request; the server calls :meth:`send` later —
+    from another request's handler, after a pump, on a timer — and the
+    reply then takes the identical signing/sealing path a synchronous
+    reply takes.  This is what lets one server answer out of order while
+    many transactions are in flight against it.
+    """
+
+    __slots__ = ("ctx", "_sent")
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._sent = False
+
+    @property
+    def sent(self):
+        return self._sent
+
+    def send(self, reply=None):
+        """Send the (possibly out-of-order) reply; at most once.
+
+        ``reply`` defaults to a bare success built from the original
+        request, exactly like a handler returning None.
+        """
+        if self._sent:
+            raise AmoebaError("deferred reply already sent")
+        self._sent = True
+        ctx = self.ctx
+        if reply is None:
+            reply = ctx.ok()
+        ctx.server._send_reply(ctx.frame, reply)
+
+    def error(self, exc):
+        """Send an error reply carrying the exception's wire code."""
+        self.send(self.ctx.error(exc))
+
+
 class RequestContext:
     """Everything a handler needs about one incoming request."""
 
-    __slots__ = ("server", "frame", "request")
+    __slots__ = ("server", "frame", "request", "deferred")
 
     def __init__(self, server, frame, request=None):
         self.server = server
         self.frame = frame
+        self.deferred = None
         # The request may differ from frame.message when §2.4 sealing is
         # in use (capabilities have been decrypted back to plaintext).
         self.request = request if request is not None else frame.message
@@ -100,6 +141,19 @@ class RequestContext:
             data=str(exc).encode("utf-8"),
             signature=self.server._signature_port,
         )
+
+    def defer(self):
+        """Answer this request later: returns a :class:`DeferredReply`.
+
+        The handler must still return None; the dispatch loop then skips
+        its reply step entirely, and the transaction stays open until
+        ``send()`` is called on the handle.  The requesting client is
+        simply blocked in (or polling) its reply GET meanwhile — no
+        protocol change is visible on the wire.
+        """
+        if self.deferred is None:
+            self.deferred = DeferredReply(self)
+        return self.deferred
 
 
 class ObjectServer:
@@ -191,8 +245,19 @@ class ObjectServer:
     # ------------------------------------------------------------------
 
     def start(self):
-        """Enter the GET loop (register the request handler)."""
-        self.node.serve(self.get_port, self._handle_frame)
+        """Enter the GET loop (register the request handler).
+
+        On a deferred-delivery network the server registers a *batch*
+        handler: the event loop then delivers whole ingress-queue runs,
+        and :meth:`_handle_frames` hoists the per-request mode checks out
+        of the loop.  Synchronous networks and socket nodes keep the
+        per-frame handler; the dispatch semantics are identical.
+        """
+        network = getattr(self.node, "network", None)
+        if network is not None and getattr(network, "loop", None) is not None:
+            self.node.serve_batch(self.get_port, self._handle_frames)
+        else:
+            self.node.serve(self.get_port, self._handle_frame)
         self._running = True
         return self
 
@@ -208,10 +273,18 @@ class ObjectServer:
     # dispatch
     # ------------------------------------------------------------------
 
-    def _handle_frame(self, frame):
-        request = frame.message
-        if self.count_requests:
-            self.request_counts[request.command] += 1
+    def _dispatch_request(self, frame, request):
+        """The dispatch core shared by per-frame and batch delivery:
+        sender auth, unsealing, handler lookup and invocation, and both
+        error arms.  Returns the reply to send, or None when the handler
+        deferred it.
+
+        Re-entrancy: under deferred delivery the event loop may invoke
+        this again (for the next queued request) before an earlier reply
+        has been dispatched.  Everything per-request therefore lives in
+        locals and the RequestContext — nothing here writes per-request
+        state onto self.
+        """
         try:
             if self.authorized_signatures is not None:
                 self._authenticate_sender(request)
@@ -226,6 +299,10 @@ class ObjectServer:
                 )
             reply = handler(ctx)
             if reply is None:
+                if ctx.deferred is not None:
+                    # The handler took a DeferredReply handle; the
+                    # transaction stays open until it sends.
+                    return None
                 reply = ctx.ok()
         except AmoebaError as exc:
             reply = RequestContext(self, frame, request).error(exc)
@@ -235,6 +312,61 @@ class ObjectServer:
             reply = RequestContext(self, frame, request).error(
                 AmoebaError("internal error in %s: %s" % (self.service_name, exc))
             )
+        return reply
+
+    def _handle_frame(self, frame):
+        request = frame.message
+        if self.count_requests:
+            self.request_counts[request.command] += 1
+        reply = self._dispatch_request(frame, request)
+        if reply is not None:
+            self._send_reply(frame, reply)
+
+    def _handle_frames(self, frames):
+        """Batch dispatch: one ingress-queue run per call.
+
+        Runs the same :meth:`_dispatch_request` core as per-frame
+        delivery — the semantics cannot fork — but hoists the common
+        configuration's reply tail: when there is no sealer (so
+        :meth:`_send_reply` would never seal) the signed replies for the
+        whole run leave in one bulk unicast.  Request counting, when on,
+        is one Counter update per frame, as ever.
+        """
+        dispatch = self._dispatch_request
+        count = self.count_requests
+        counts = self.request_counts
+        if self.sealer is not None:
+            for frame in frames:
+                self._handle_frame(frame)
+            return
+        signature_port = self._signature_port
+        outbox = []
+        out_append = outbox.append
+        for frame in frames:
+            request = frame.message
+            if count:
+                counts[request.command] += 1
+            reply = dispatch(frame, request)
+            if reply is None:
+                continue  # deferred
+            if reply.signature is not signature_port:
+                reply = reply._evolve(signature=signature_port)
+            out_append((reply, frame.src))
+        if outbox:
+            # One bulk unicast for the whole run's replies; a node
+            # without the bulk path (sockets) gets them one put at a
+            # time, which is what it would have seen anyway.
+            bulk = getattr(self.node, "put_owned_unicast_bulk", None)
+            if bulk is not None:
+                bulk(outbox)
+            else:
+                put_owned = self.node.put_owned
+                for reply, src in outbox:
+                    put_owned(reply, src)
+
+    def _send_reply(self, frame, reply):
+        """Seal, sign, and send one reply (shared by the dispatch loop and
+        :class:`DeferredReply`)."""
         if self.sealer is not None and (reply.capability or reply.extra_caps):
             reply = self.sealer.seal_message(reply, frame.src)
         # Replies are signed: the F-box will transform this secret S into

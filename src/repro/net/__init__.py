@@ -12,5 +12,14 @@ from repro.net.intruder import Intruder
 from repro.net.message import Message
 from repro.net.network import Frame, SimNetwork
 from repro.net.nic import Nic
+from repro.net.sched import EventLoop
 
-__all__ = ["FBox", "Frame", "Intruder", "Message", "Nic", "SimNetwork"]
+__all__ = [
+    "EventLoop",
+    "FBox",
+    "Frame",
+    "Intruder",
+    "Message",
+    "Nic",
+    "SimNetwork",
+]

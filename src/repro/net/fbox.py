@@ -92,6 +92,31 @@ class FBox:
         )
         return message
 
+    def one_way_batch(self, ports):
+        """F applied to a batch of ports in one pass.
+
+        Identical results to calling :meth:`one_way` per port (same
+        cache, same masking); only the per-call bookkeeping is
+        amortized.  Used by batch GET registration, where every port is
+        a fresh random value and therefore a cache miss.
+        """
+        images = self._images
+        raw = self._f_raw
+        if len(images) + len(ports) >= _IMAGE_CACHE_MAX:
+            images.clear()
+            images[NULL_PORT.value] = NULL_PORT
+        if raw is None:
+            return [self.one_way(port) for port in ports]
+        unchecked = Port._unchecked
+        out = []
+        for port in ports:
+            value = port.value
+            image = images.get(value)
+            if image is None:
+                images[value] = image = unchecked(raw(value))
+            out.append(image)
+        return out
+
     def listen_port(self, get_port):
         """The wire port a GET(get_port) actually listens on: F(get_port).
 

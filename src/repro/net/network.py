@@ -17,9 +17,11 @@ interface hardware" (§2.4).  The simulator enforces exactly that:
 
 import itertools
 from bisect import insort
+from collections import deque
 from typing import NamedTuple, Optional
 
 from repro.net.message import Message
+from repro.net.sched import EventLoop
 
 
 class Frame(NamedTuple):
@@ -40,14 +42,39 @@ class Frame(NamedTuple):
 
 
 class SimNetwork:
-    """The shared medium connecting every NIC in one simulated system."""
+    """The shared medium connecting every NIC in one simulated system.
 
-    def __init__(self):
+    Two delivery disciplines share all the routing machinery:
+
+    * ``synchronous=True`` (default) — the original recursive model:
+      ``send`` delivers straight into the destination's admission filter,
+      so a server handler runs (and replies) before the sender's ``put``
+      returns.  Exactly one transaction is ever in flight.
+    * ``synchronous=False`` — deferred delivery through an
+      :class:`~repro.net.sched.EventLoop`: ``send`` is an O(1) enqueue
+      (admission is pre-checked against the routing index so the return
+      value keeps its meaning) and frames are dispatched by ``pump()``.
+      With ``auto_drain=True`` (the default) every top-level ``send``
+      drains the loop before returning, so blocking clients behave as in
+      synchronous mode while all traffic still flows through real queues;
+      ``auto_drain=False`` leaves pumping to the caller, which is what
+      pipelined clients use to keep many transactions in flight.
+
+    ``max_queue_depth`` bounds each per-port ingress queue in deferred
+    mode (0 = unbounded); overflowing frames are dropped and counted.
+    """
+
+    def __init__(self, synchronous=True, max_queue_depth=0, auto_drain=True):
         self._nics = {}
         self._addresses = itertools.count(1)
         self._taps = []
         self._tap_owners = {}
         self._round_robin = {}
+        self._loop = None if synchronous else EventLoop(self, max_queue_depth)
+        self._auto_drain = auto_drain
+        # Cached sorted [(address, nic), ...] for broadcast; invalidated
+        # on attach/detach instead of re-sorted per LOCATE.
+        self._sorted_stations = None
         # Routing index: wire port -> sorted [machine address, ...] of
         # stations with a GET outstanding for it.  NICs keep it current
         # through register_listener/unregister_listener, so port-addressed
@@ -70,6 +97,7 @@ class SimNetwork:
         address = next(self._addresses)
         self._nics[address] = nic
         self._ports_by_addr[address] = set()
+        self._sorted_stations = None
         return address
 
     def detach(self, address):
@@ -81,6 +109,7 @@ class SimNetwork:
         must not accumulate state for dead stations.
         """
         self._nics.pop(address, None)
+        self._sorted_stations = None
         for port in self._ports_by_addr.pop(address, ()):
             self._drop_listener(address, port)
         for tap in self._tap_owners.pop(address, ()):
@@ -122,6 +151,40 @@ class SimNetwork:
             return
         self._drop_listener(address, wire_port)
 
+    def register_listeners(self, address, wire_ports):
+        """Batch :meth:`register_listener` — one call for a pipelined
+        client's whole set of fresh reply ports."""
+        ports = self._ports_by_addr.get(address)
+        if ports is None:
+            return  # detached machine; nothing to route to
+        listeners = self._listeners
+        for wire_port in wire_ports:
+            ports.add(wire_port)
+            takers = listeners.get(wire_port)
+            if takers is None:
+                listeners[wire_port] = [address]
+            elif address not in takers:
+                insort(takers, address)
+
+    def unregister_listeners(self, address, wire_ports):
+        """Batch :meth:`unregister_listener`, same single-listener fast
+        path per port."""
+        ports = self._ports_by_addr.get(address)
+        listeners = self._listeners
+        round_robin = self._round_robin
+        for wire_port in wire_ports:
+            if ports is not None:
+                ports.discard(wire_port)
+            takers = listeners.get(wire_port)
+            if takers is None:
+                continue
+            if len(takers) == 1:
+                if takers[0] == address:
+                    del listeners[wire_port]
+                    round_robin.pop(wire_port, None)
+                continue
+            self._drop_listener(address, wire_port)
+
     def _drop_listener(self, address, wire_port):
         takers = self._listeners.get(wire_port)
         if takers is None:
@@ -145,13 +208,16 @@ class SimNetwork:
 
         The source address comes from the NIC object itself, never from
         the caller — this is the §2.4 unforgeability assumption.  Returns
-        True if some NIC accepted the frame.
+        True if some NIC accepted the frame (in deferred mode: if some
+        NIC's admission filter *would* take it, per the routing index).
         """
         frame = Frame(src_nic.address, dst_machine, message)
         self.frames_sent += 1
         if self._taps:
             for tap in self._taps:
                 tap(frame)
+        if self._loop is not None:
+            return self._send_deferred(frame)
         if dst_machine is not None:
             # Located unicast, inlined from _route: one dict hit.
             nic = self._nics.get(dst_machine)
@@ -163,6 +229,164 @@ class SimNetwork:
         else:
             self.frames_dropped += 1
         return delivered
+
+    def _send_deferred(self, frame):
+        """Deferred-mode tail of :meth:`send`: pre-check admission against
+        the routing index (which mirrors the filters exactly), enqueue in
+        O(1), and — under auto-drain — pump the loop before returning so
+        blocking callers keep their synchronous-mode behavior.
+
+        Express lane: while the loop is draining, a unicast frame whose
+        sink is a passive queue (a client blocked in GET — the shape of
+        every transaction reply) is appended to that queue directly.  The
+        event loop exists to schedule *computation* (handler dispatch,
+        which can recurse, overload, and starve); delivery to a deque has
+        no side effects and would provably happen within this same drain,
+        so expressing it skips one enqueue/dispatch round trip per reply
+        without changing anything a client can observe — including the
+        ``max_queue_depth`` bound, which is enforced against the sink.
+
+        Overflow is a *silent* loss at the sender, like a real network
+        dropping a frame in a full buffer: send() still returns True (the
+        port is admitted), the loss shows up in ``frames_dropped`` /
+        ``dropped_overflow`` and as a missing reply.  False still means
+        exactly what it means in synchronous mode: nobody admits the
+        port.
+        """
+        loop = self._loop
+        dest = frame.message.dest
+        if frame.dst_machine is not None:
+            nic = self._nics.get(frame.dst_machine)
+            if nic is None:
+                self.frames_dropped += 1
+                return False
+            sink = nic._sinks.get(dest)
+            if sink is None:
+                self.frames_dropped += 1
+                return False
+            if (
+                loop._draining
+                and type(sink) is deque
+                and dest.value not in loop._queues
+                and (not loop.max_depth or len(sink) < loop.max_depth)
+            ):
+                # The _queues guard keeps per-port FIFO order: if earlier
+                # frames for this port are still scheduled, this one must
+                # line up behind them.
+                sink.append(frame)
+                nic.received += 1
+                self.frames_delivered += 1
+                return True
+        elif dest not in self._listeners:
+            self.frames_dropped += 1
+            return False
+        if not loop.enqueue(frame):
+            self.frames_dropped += 1
+            return True  # admitted, then lost to a full queue
+        if self._auto_drain and not loop._draining:
+            loop.pump()
+        return True
+
+    def send_bulk(self, src_nic, messages, dst_machine=None):
+        """Put a batch of same-destination frames on the wire at once.
+
+        The issue half of a pipelined client: every message must carry
+        the same ``dest`` port (one admission verdict covers the batch)
+        and the same ``dst_machine``.  Sources are stamped from the NIC
+        exactly as in :meth:`send`, every tap sees every frame, and in
+        deferred mode the whole batch lands on one ingress queue in one
+        extend — without the per-frame auto-drain, which is the point:
+        the batch stays in flight until the caller pumps.  Returns the
+        number of frames *admitted* (0 when nobody listens on the port);
+        frames beyond ``max_queue_depth`` are admitted-then-lost, counted
+        in ``frames_dropped``/``dropped_overflow`` like any overflow.
+        """
+        if not messages:
+            return 0
+        loop = self._loop
+        if loop is None:
+            # Synchronous network: no queue to batch onto; per-frame
+            # delivery keeps the recursive semantics.
+            accepted = 0
+            for message in messages:
+                if self.send(src_nic, message, dst_machine):
+                    accepted += 1
+            return accepted
+        src = src_nic.address
+        frames = [Frame(src, dst_machine, m) for m in messages]
+        self.frames_sent += len(frames)
+        if self._taps:
+            for frame in frames:
+                for tap in self._taps:
+                    tap(frame)
+        dest = messages[0].dest
+        if dst_machine is not None:
+            nic = self._nics.get(dst_machine)
+            admitted = nic is not None and dest in nic._sinks
+        else:
+            admitted = dest in self._listeners
+        if not admitted:
+            self.frames_dropped += len(frames)
+            return 0
+        enqueued = loop.enqueue_bulk(dest, frames)
+        if enqueued != len(frames):
+            self.frames_dropped += len(frames) - enqueued
+        return len(frames)
+
+    def send_unicast_bulk(self, src_nic, pairs):
+        """Put a batch of unicast frames on the wire — the egress shape of
+        a batch server's replies: ``pairs`` is ``[(message, dst), ...]``.
+
+        Per-frame behavior is exactly :meth:`send`'s (source stamping,
+        taps, counters, express-or-enqueue in deferred mode); the batch
+        only hoists the per-call setup.  Returns the number accepted.
+        """
+        loop = self._loop
+        if loop is None or self._taps:
+            accepted = 0
+            for message, dst in pairs:
+                if self.send(src_nic, message, dst):
+                    accepted += 1
+            return accepted
+        src = src_nic.address
+        nics = self._nics
+        queues = loop._queues
+        express = loop._draining
+        max_depth = loop.max_depth
+        admitted = 0
+        count = 0
+        delivered = 0
+        for message, dst in pairs:
+            count += 1
+            frame = Frame(src, dst, message)
+            nic = nics.get(dst)
+            if nic is None:
+                continue
+            dest = message.dest
+            sink = nic._sinks.get(dest)
+            if sink is None:
+                continue
+            admitted += 1
+            if (
+                express
+                and type(sink) is deque
+                and dest.value not in queues
+                and (not max_depth or len(sink) < max_depth)
+            ):
+                # The express lane of _send_deferred, hoisted.
+                sink.append(frame)
+                nic.received += 1
+                delivered += 1
+            elif not loop.enqueue(frame):
+                # Admitted, then lost to a full queue — a silent drop at
+                # the sender, visible only in the counters.
+                self.frames_dropped += 1
+        self.frames_sent += count
+        self.frames_delivered += delivered
+        self.frames_dropped += count - admitted
+        if self._auto_drain and not loop._draining:
+            loop.pump()
+        return admitted
 
     def _route(self, frame):
         # Unicast frames are handled inline by send(); only port-addressed
@@ -185,18 +409,59 @@ class SimNetwork:
         return self._nics[takers[start % len(takers)]].accept(frame)
 
     def broadcast(self, src_nic, message):
-        """Deliver a frame to every station's broadcast handler (LOCATE)."""
+        """Deliver a frame to every station's broadcast handler (LOCATE).
+
+        Broadcast models the shared segment itself, so it is delivered
+        immediately in both delivery disciplines; replies the handlers
+        send ride the deferred queues like any other frame.
+        """
         frame = Frame(src=src_nic.address, dst_machine=None, message=message)
         self.frames_sent += 1
         self.broadcasts += 1
         for tap in self._taps:
             tap(frame)
+        stations = self._sorted_stations
+        if stations is None:
+            stations = self._sorted_stations = sorted(self._nics.items())
         count = 0
-        for addr, nic in sorted(self._nics.items()):
-            if addr != src_nic.address and nic.accept_broadcast(frame):
+        src = src_nic.address
+        for addr, nic in stations:
+            if addr != src and nic.accept_broadcast(frame):
                 count += 1
         self.frames_delivered += count
         return count
+
+    # ------------------------------------------------------------------
+    # deferred-mode scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def synchronous(self):
+        """True when delivery recurses into accept() during send()."""
+        return self._loop is None
+
+    @property
+    def loop(self):
+        """The :class:`~repro.net.sched.EventLoop`, or None when
+        synchronous."""
+        return self._loop
+
+    @property
+    def pending(self):
+        """Frames queued for later dispatch (always 0 when synchronous)."""
+        return self._loop.pending if self._loop is not None else 0
+
+    def pump(self, budget=None):
+        """Dispatch up to ``budget`` deferred frames (all if None).
+
+        A no-op returning 0 in synchronous mode, so callers need not care
+        which discipline the network runs.
+        """
+        return self._loop.pump(budget) if self._loop is not None else 0
+
+    def run(self):
+        """Drain every deferred frame; returns the number dispatched."""
+        return self.pump(None)
 
     # ------------------------------------------------------------------
     # intruder instrumentation
@@ -233,15 +498,31 @@ class SimNetwork:
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.broadcasts = 0
+        loop = self._loop
+        if loop is not None:
+            loop.dispatched = 0
+            loop.dropped_overflow = 0
+            loop.dropped_dead = 0
+            loop.max_depth_seen = loop.pending and max(
+                len(q) for q in loop._queues.values()
+            )
 
     def stats(self):
-        """Current wire counters as a dict (stable keys for benchmarks)."""
-        return {
+        """Current wire counters as a dict (stable keys for benchmarks).
+
+        In deferred mode a ``scheduler`` sub-dict carries the event
+        loop's queue counters; the top-level keys are identical in both
+        modes.
+        """
+        counters = {
             "frames_sent": self.frames_sent,
             "frames_delivered": self.frames_delivered,
             "frames_dropped": self.frames_dropped,
             "broadcasts": self.broadcasts,
         }
+        if self._loop is not None:
+            counters["scheduler"] = self._loop.stats()
+        return counters
 
     def __repr__(self):
         return "SimNetwork(machines=%d, frames_sent=%d)" % (

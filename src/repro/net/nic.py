@@ -19,6 +19,24 @@ from repro.core.ports import as_port
 from repro.net.fbox import FBox
 
 
+class _BatchSink:
+    """A server GET whose handler takes a *run* of frames at once.
+
+    Registered by :meth:`Nic.serve_batch`.  Calling it with a single
+    frame (the synchronous network's accept path) forwards a 1-tuple, so
+    batch servers work identically under both delivery disciplines; the
+    event loop detects the type and hands over whole queue runs.
+    """
+
+    __slots__ = ("batch",)
+
+    def __init__(self, batch):
+        self.batch = batch
+
+    def __call__(self, frame):
+        self.batch((frame,))
+
+
 class Nic:
     """One station on a :class:`~repro.net.network.SimNetwork`.
 
@@ -30,6 +48,11 @@ class Nic:
         Optionally a specific :class:`FBox` (all boxes on one network must
         share the same F for ports to interoperate).
     """
+
+    #: Capability attribute, checked once by the RPC layer instead of
+    #: probing with TypeError per poll: poll_wire here takes no timeout —
+    #: the simulator delivers during put()/pump(), never later.
+    supports_poll_timeout = False
 
     def __init__(self, network, fbox=None):
         self.fbox = fbox or FBox()
@@ -69,11 +92,61 @@ class Nic:
         self.sent += 1
         return self.network.send(self, on_wire, dst_machine)
 
+    def put_owned_bulk(self, messages, dst_machine=None):
+        """PUT a batch of privately built same-destination messages.
+
+        The egress half of a pipelined issue: every message is F-box
+        transformed in place (the identical, unconditional transformation
+        of :meth:`put_owned`) and the batch goes to the network in one
+        :meth:`~repro.net.network.SimNetwork.send_bulk` call.  Returns
+        the number of frames the network accepted.
+        """
+        transform = self.fbox.transform_egress_owned
+        on_wire = [transform(m) for m in messages]
+        self.sent += len(on_wire)
+        return self.network.send_bulk(self, on_wire, dst_machine)
+
+    def put_owned_unicast_bulk(self, pairs):
+        """PUT a batch of privately built unicast (message, machine)
+        pairs — a batch server's reply egress.  Each message is F-box
+        transformed in place exactly as :meth:`put_owned` would."""
+        transform = self.fbox.transform_egress_owned
+        on_wire = [(transform(m), dst) for m, dst in pairs]
+        self.sent += len(on_wire)
+        return self.network.send_unicast_bulk(self, on_wire)
+
+    def put_many(self, messages, dst_machine=None):
+        """PUT a batch of messages; returns how many were accepted.
+
+        Each message goes through the same F-box transformation as
+        :meth:`put` — batching amortizes only the per-call bookkeeping,
+        never the transform.
+        """
+        transform = self.fbox.transform_egress
+        send = self.network.send
+        accepted = 0
+        count = 0
+        for message in messages:
+            count += 1
+            if send(self, transform(message), dst_machine):
+                accepted += 1
+        self.sent += count
+        return accepted
+
     def put_broadcast(self, message):
         """Broadcast a (transformed) frame to every station — LOCATE etc."""
         on_wire = self.fbox.transform_egress(message)
         self.sent += 1
         return self.network.broadcast(self, on_wire)
+
+    def pump(self, budget=None):
+        """Dispatch deferred deliveries on the attached network, if any.
+
+        Stations expose this so protocol code (``trans``, ``trans_many``)
+        can drive a deferred network without knowing the topology; on a
+        synchronous network it is a no-op returning 0.
+        """
+        return self.network.pump(budget)
 
     # ------------------------------------------------------------------
     # ingress: GET registration
@@ -95,6 +168,47 @@ class Nic:
             self._sinks[wire_port] = deque()
             self.network.register_listener(self.address, wire_port)
         return wire_port
+
+    def listen_fresh(self, ports):
+        """Batch GET on a set of fresh (just-drawn) ports.
+
+        The ingress half of a pipelined issue: one call admits every
+        reply port of a batch, with a single routing-index registration.
+        Each port gets the identical treatment :meth:`listen` gives it —
+        one-wayed through the F-box, a queue sink, an index entry — so
+        the index-mirrors-admission invariant is untouched.  Returns the
+        wire ports, or None if two ports collide (callers then fall back
+        to issuing one at a time; with 48-bit random ports this is a
+        when-the-sun-burns-out case, but silently sharing a sink would
+        cross two transactions' replies).
+        """
+        sinks = self._sinks
+        wires = self.fbox.one_way_batch(ports)
+        fresh = []
+        for wire_port in wires:
+            if wire_port in sinks:
+                for seen in fresh:
+                    del sinks[seen]
+                return None
+            sinks[wire_port] = deque()
+            fresh.append(wire_port)
+        self.network.register_listeners(self.address, fresh)
+        return wires
+
+    def take_many(self, wire_ports):
+        """Withdraw a batch of GETs, returning each port's queued frames.
+
+        The collect half of a pipelined transaction batch: for every wire
+        port, its sink deque (or None if it was not listened) — with the
+        GETs withdrawn and the routing index pruned in one batch call.
+        """
+        sinks = self._sinks
+        taken = [sinks.pop(w, None) for w in wire_ports]
+        self.network.unregister_listeners(
+            self.address,
+            [w for w, sink in zip(wire_ports, taken) if sink is not None],
+        )
+        return taken
 
     def unlisten(self, port):
         """Withdraw a GET (by the same value passed to :meth:`listen`)."""
@@ -119,6 +233,14 @@ class Nic:
             while backlog:
                 handler(backlog.popleft())
         return wire_port
+
+    def serve_batch(self, port, batch_handler):
+        """GET with a batch request handler: the event loop delivers whole
+        queue runs as ``batch_handler(frames)`` — interrupt coalescing
+        for servers under heavy traffic.  On a synchronous network each
+        frame arrives as a batch of one, so semantics do not fork.
+        """
+        return self.serve(port, _BatchSink(batch_handler))
 
     def on_broadcast(self, handler):
         """Add a kernel-level broadcast handler (LOCATE, boot announce...).
@@ -147,6 +269,42 @@ class Nic:
         else:
             sink(frame)
         return True
+
+    def accept_run(self, dest, frames):
+        """Deliver a run of same-port frames (called only by the event
+        loop when this station is the port's lone listener).
+
+        The batch mirror of :meth:`accept`: queue sinks take the whole
+        run in one extend, batch sinks get it as a single call, and
+        per-frame handlers re-resolve the sink each frame so a handler
+        that withdraws its GET mid-run loses the remainder exactly as it
+        would frame-by-frame.  Returns the number delivered.
+        """
+        sink = self._sinks.get(dest)
+        if sink is None:
+            return 0
+        count = len(frames)
+        if type(sink) is deque:
+            sink.extend(frames)
+            self.received += count
+            return count
+        if type(sink) is _BatchSink:
+            self.received += count
+            sink.batch(frames)
+            return count
+        delivered = 0
+        sinks = self._sinks
+        for frame in frames:
+            sink = sinks.get(dest)
+            if sink is None:
+                break
+            self.received += 1
+            delivered += 1
+            if type(sink) is deque:
+                sink.append(frame)
+            else:
+                sink(frame)
+        return delivered
 
     def accept_broadcast(self, frame):
         """Deliver a broadcast frame to the kernel handlers, if any."""

@@ -1,0 +1,306 @@
+"""The event-loop delivery engine: deferred dispatch with real queues.
+
+The paper's transaction (§2.1) is one blocking round trip, and the
+synchronous simulator reproduces that literally — ``SimNetwork.send``
+recurses straight into ``nic.accept``, so exactly one transaction is ever
+in flight.  This module is the other delivery discipline: ``send`` becomes
+an O(1) enqueue onto an :class:`EventLoop`, and a ``pump()`` drain loop
+dispatches admitted frames to their stations later.  That is the standard
+asynchronous message-passing model of distributed-system theory (frames
+in flight live in channel queues; delivery is a separate scheduler step),
+and it is what lets the system sustain many in-flight transactions and
+model queueing under heavy traffic.
+
+Semantics
+---------
+* **Admission is decided at enqueue time** (the routing index mirrors the
+  admission filters exactly, so "would any station take this frame?" is
+  one dict lookup); ``send`` returns that verdict immediately, which
+  keeps ``trans``'s ``PortNotLocated`` behavior identical.  Delivery is
+  **re-checked at dispatch time**: a listener that withdrew its GET (or a
+  machine that detached) between enqueue and pump drops the frame, like a
+  real network losing a packet addressed to a dead host.
+* **Per-port ingress queues.**  Every wire port with frames in flight has
+  its own FIFO; the pump rotates round-robin across ports, one frame per
+  turn, so a flooded port cannot starve the others.  Replicated servers
+  additionally share load through the network's round-robin arbiter at
+  dispatch, exactly as in synchronous mode.
+* **Overload is visible.**  ``max_depth`` bounds each port's queue; a
+  frame arriving at a full queue is dropped and counted
+  (``dropped_overflow``), which is how "heavy traffic" scenarios observe
+  loss instead of unbounded memory growth.
+* **Re-entrancy.**  Handlers run inside ``pump()`` and their own sends
+  enqueue without recursing (the loop notices it is already draining).
+  A handler that raises aborts the current pump with the remaining
+  frames still queued; the next pump carries on.
+"""
+
+from collections import deque
+
+from repro.net.nic import _BatchSink
+
+
+class EventLoop:
+    """Deferred frame delivery for one :class:`~repro.net.network.SimNetwork`.
+
+    Created by ``SimNetwork(synchronous=False)``; not normally constructed
+    directly.  ``max_depth`` bounds each per-port ingress queue (0 means
+    unbounded).
+    """
+
+    __slots__ = (
+        "network",
+        "max_depth",
+        "_queues",
+        "_ready",
+        "_draining",
+        "dispatched",
+        "dropped_overflow",
+        "dropped_dead",
+        "max_depth_seen",
+    )
+
+    def __init__(self, network, max_depth=0):
+        self.network = network
+        self.max_depth = max_depth
+        # wire port -> deque of Frames in flight for it.  An entry exists
+        # iff the port has at least one queued frame (emptied queues are
+        # deleted immediately so per-transaction reply ports cannot
+        # accumulate dict residue).
+        self._queues = {}
+        # Round-robin rotation of ports with pending frames; each pending
+        # port appears exactly once.
+        self._ready = deque()
+        self._draining = False
+        #: Frames handed to a station's admission filter by pump().
+        self.dispatched = 0
+        #: Frames dropped at enqueue because the port's queue was full.
+        self.dropped_overflow = 0
+        #: Frames admitted at enqueue but undeliverable at dispatch (the
+        #: listener unlistened or its machine detached in between).
+        self.dropped_dead = 0
+        #: High-water mark of any single port queue.
+        self.max_depth_seen = 0
+
+    # ------------------------------------------------------------------
+    # ingress (called by SimNetwork.send)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, frame):
+        """Queue one admitted frame; O(1).  False means an overflow drop.
+
+        Queues are keyed by the wire port's integer value (ports hash
+        through a Python-level ``__hash__``; their 48-bit values hash in
+        C), an internal detail — every public surface takes Ports.
+        """
+        dest = frame.message.dest.value
+        queues = self._queues
+        q = queues.get(dest)
+        if q is None:
+            queues[dest] = q = deque((frame,))
+            self._ready.append(dest)
+            if self.max_depth_seen == 0:
+                self.max_depth_seen = 1
+            return True
+        if self.max_depth and len(q) >= self.max_depth:
+            self.dropped_overflow += 1
+            return False
+        q.append(frame)
+        if len(q) > self.max_depth_seen:
+            self.max_depth_seen = len(q)
+        return True
+
+    def enqueue_bulk(self, dest, frames):
+        """Queue a batch of frames that all carry wire port ``dest``.
+
+        The batch counterpart of :meth:`enqueue` for pipelined issuers:
+        one queue lookup and one extend for the whole batch.  Returns the
+        number accepted (the tail beyond ``max_depth`` is dropped and
+        counted, exactly as per-frame enqueue would have).
+        """
+        count = len(frames)
+        if count == 0:
+            return 0
+        dest = dest.value
+        queues = self._queues
+        q = queues.get(dest)
+        if q is None:
+            queues[dest] = q = deque()
+            self._ready.append(dest)
+        if self.max_depth:
+            space = self.max_depth - len(q)
+            if space < count:
+                overflow = count - space if space > 0 else count
+                self.dropped_overflow += overflow
+                count -= overflow
+                frames = frames[:count]
+        q.extend(frames)
+        depth = len(q)
+        if depth > self.max_depth_seen:
+            self.max_depth_seen = depth
+        if depth == 0:
+            # Nothing fit at all: drop the queue we just created rather
+            # than leave an empty entry in the rotation.
+            del queues[dest]
+            self._ready.remove(dest)
+        return count
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def pump(self, budget=None):
+        """Dispatch up to ``budget`` queued frames (all of them if None).
+
+        Rotates round-robin across ports with pending frames, one frame
+        per port per turn.  Frames enqueued by handlers *during* the pump
+        join the rotation and are dispatched in the same call (unless the
+        budget runs out first).  Returns the number of frames dispatched;
+        a re-entrant call from inside a handler returns 0 immediately.
+        """
+        if self._draining or not self._ready:
+            return 0
+        self._draining = True
+        dispatched = 0
+        dead = 0
+        delivered = 0
+        ready = self._ready
+        queues = self._queues
+        network = self.network
+        nics = network._nics
+        listeners = network._listeners
+        round_robin = network._round_robin
+        try:
+            while ready and (budget is None or dispatched < budget):
+                dest = ready.popleft()
+                q = queues[dest]
+                # Run coalescing: when this is the only pending port and
+                # its lone listener is taking port-addressed frames, the
+                # head run is drained as one delivery — the software
+                # analogue of a NIC handing its whole DMA ring to the
+                # driver per interrupt.  With other ports pending, or a
+                # replicated service on the port, strict one-frame-per-
+                # turn rotation (and the round-robin arbiter) applies.
+                if not ready and q[0].dst_machine is None:
+                    wire = q[0].message.dest
+                    takers = listeners.get(wire)
+                    if takers is not None and len(takers) == 1:
+                        nic = nics[takers[0]]
+                        sink = nic._sinks.get(wire)
+                        # Coalesce only for sinks that take the whole run
+                        # in one hand-over (a passive queue, or a batch
+                        # handler that owns every frame it is given) — a
+                        # per-frame handler that raised mid-run would
+                        # otherwise lose the popped remainder, breaking
+                        # the "remaining frames still queued" abort
+                        # semantics.
+                        coalesce = (
+                            type(sink) is deque or type(sink) is _BatchSink
+                        )
+                    else:
+                        coalesce = False
+                    if coalesce:
+                        limit = (
+                            len(q)
+                            if budget is None
+                            else min(len(q), budget - dispatched)
+                        )
+                        run = []
+                        while limit and q and q[0].dst_machine is None:
+                            run.append(q.popleft())
+                            limit -= 1
+                        if q:
+                            ready.append(dest)
+                        else:
+                            # Delete before delivering: frames a batch
+                            # handler enqueues for this port get a fresh
+                            # queue and rotation slot.
+                            del queues[dest]
+                        dispatched += len(run)
+                        try:
+                            got = nic.accept_run(wire, run)
+                        except BaseException:
+                            # A raising batch handler owns the frames it
+                            # was handed (as in synchronous delivery);
+                            # account them before propagating.
+                            delivered += len(run)
+                            raise
+                        delivered += got
+                        dead += len(run) - got
+                        continue
+                # Rotation: one frame per pending port per turn.
+                frame = q.popleft()
+                if q:
+                    ready.append(dest)
+                else:
+                    # Delete before dispatching: if the handler below
+                    # enqueues more frames for this port they get a
+                    # fresh queue and a fresh rotation slot.
+                    del queues[dest]
+                dispatched += 1
+                # Deliver, re-checking admission against the live
+                # filters.  The port-addressed arm mirrors
+                # SimNetwork._route exactly (single-listener fast path,
+                # round-robin arbiter for replicated services) with the
+                # index dicts held in locals across the whole drain.
+                dst = frame.dst_machine
+                if dst is not None:
+                    nic = nics.get(dst)
+                    ok = nic is not None and nic.accept(frame)
+                else:
+                    wire = frame.message.dest
+                    takers = listeners.get(wire)
+                    if not takers:
+                        ok = False
+                    elif len(takers) == 1:
+                        ok = nics[takers[0]].accept(frame)
+                    else:
+                        start = round_robin.get(wire, 0)
+                        round_robin[wire] = start + 1
+                        ok = nics[takers[start % len(takers)]].accept(frame)
+                if ok:
+                    delivered += 1
+                else:
+                    dead += 1
+        finally:
+            self._draining = False
+            self.dispatched += dispatched
+            self.dropped_dead += dead
+            network.frames_delivered += delivered
+            network.frames_dropped += dead
+        return dispatched
+
+    def run(self):
+        """Drain until no frames are pending; returns frames dispatched."""
+        return self.pump(None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self):
+        """Total frames currently queued across all ports."""
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, wire_port):
+        """Queue depth for one wire port (0 if nothing is pending)."""
+        q = self._queues.get(getattr(wire_port, "value", wire_port))
+        return len(q) if q is not None else 0
+
+    def stats(self):
+        """Scheduler counters as a dict (stable keys for benchmarks)."""
+        return {
+            "pending": self.pending,
+            "ports_pending": len(self._queues),
+            "dispatched": self.dispatched,
+            "dropped_overflow": self.dropped_overflow,
+            "dropped_dead": self.dropped_dead,
+            "max_depth_seen": self.max_depth_seen,
+        }
+
+    def __repr__(self):
+        return "EventLoop(pending=%d, dispatched=%d)" % (
+            self.pending,
+            self.dispatched,
+        )

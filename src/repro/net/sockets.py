@@ -16,6 +16,7 @@ the simulator remains the reference for security experiments.
 import queue
 import socket
 import threading
+from collections import deque
 
 from repro.core.ports import as_port
 from repro.net.fbox import FBox
@@ -27,9 +28,35 @@ MAX_DATAGRAM = 60000
 
 
 class SocketNode:
-    """One station on a real UDP network."""
+    """One station on a real UDP network.
 
-    def __init__(self, fbox=None, bind_host="127.0.0.1"):
+    Concurrency notes (the pump thread receives while any number of
+    client threads send):
+
+    * **Admission is a lock-free snapshot.**  ``_admission`` maps wire
+      port → sink (a ``queue.Queue`` for client GETs, a callable for
+      server GETs) and is *replaced wholesale* — never mutated — under
+      ``_lock`` by listen/serve/unlisten.  Readers (the pump thread's
+      per-datagram lookup, ``poll_wire``) just read the attribute: no
+      lock round-trip on the per-datagram path.
+    * **Peers are a snapshot tuple**, rebuilt by ``connect`` so
+      port-addressed sends iterate it without taking the lock.
+    * **Egress may be coalesced.**  With ``buffer_egress=True``, ``put``
+      appends packed datagrams to a small buffer instead of hitting the
+      socket; the buffer is flushed by the pump thread each iteration
+      (so server replies batch naturally), by ``poll_wire`` before it
+      blocks (so a client's own request precedes its wait), at
+      ``flush_every`` pending datagrams, and on ``close``.  Buffering
+      changes *when* bytes leave, never *what* leaves — every datagram
+      still went through the F-box transform in ``put``.
+    """
+
+    #: Capability attribute for the RPC layer: poll_wire accepts a
+    #: timeout here (frames arrive from a real wire at any time).
+    supports_poll_timeout = True
+
+    def __init__(self, fbox=None, bind_host="127.0.0.1", buffer_egress=False,
+                 flush_every=32):
         self.fbox = fbox or FBox()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((bind_host, 0))
@@ -37,9 +64,17 @@ class SocketNode:
         self.address = self._sock.getsockname()
         self._queues = {}
         self._handlers = {}
+        #: Lock-free admission snapshot: wire port -> Queue | handler.
+        self._admission = {}
         self._peers = []
+        self._peer_snapshot = ()
         self._lock = threading.Lock()
         self._closed = threading.Event()
+        self.buffer_egress = buffer_egress
+        self.flush_every = flush_every
+        # (raw, dst | None) datagrams awaiting flush; deque append/popleft
+        # are atomic, so producers and the flushing thread need no lock.
+        self._egress = deque()
         self.sent = 0
         self.received = 0
         self._pump = threading.Thread(target=self._pump_loop, daemon=True)
@@ -50,10 +85,15 @@ class SocketNode:
     # ------------------------------------------------------------------
 
     def connect(self, peer_address):
-        """Add a peer for port-addressed sends (poor man's broadcast)."""
+        """Add a peer for port-addressed sends (poor man's broadcast).
+
+        Rebuilds the immutable peer snapshot so senders never take the
+        lock.
+        """
         with self._lock:
             if peer_address not in self._peers:
                 self._peers.append(peer_address)
+                self._peer_snapshot = tuple(self._peers)
 
     # ------------------------------------------------------------------
     # egress
@@ -71,11 +111,15 @@ class SocketNode:
         if len(raw) > MAX_DATAGRAM:
             raise ValueError("message of %d bytes exceeds datagram cap" % len(raw))
         self.sent += 1
+        if self.buffer_egress:
+            self._egress.append((raw, dst_machine))
+            if len(self._egress) >= self.flush_every:
+                self.flush_egress()
+            return True if dst_machine is not None else bool(self._peer_snapshot)
         if dst_machine is not None:
             self._sock.sendto(raw, dst_machine)
             return True
-        with self._lock:
-            peers = list(self._peers)
+        peers = self._peer_snapshot
         for peer in peers:
             self._sock.sendto(raw, peer)
         return bool(peers)
@@ -84,14 +128,82 @@ class SocketNode:
     # question moot here, so the plain path is reused.
     put_owned = put
 
+    def put_many(self, messages, dst_machine=None):
+        """Transform and transmit a batch in one pass.
+
+        Amortizes the per-call bookkeeping (peer snapshot read, counter
+        updates) across the batch; each message still goes through the
+        full F-box transform and size check.  Returns the number of
+        messages offered to at least one destination.
+        """
+        if self._egress:
+            # Earlier buffered datagrams must not be overtaken by this
+            # batch — same-sender ordering is part of the buffering
+            # contract.
+            self.flush_egress()
+        transform = self.fbox.transform_egress
+        sendto = self._sock.sendto
+        peers = self._peer_snapshot
+        count = 0
+        for message in messages:
+            raw = transform(message).pack()
+            if len(raw) > MAX_DATAGRAM:
+                raise ValueError(
+                    "message of %d bytes exceeds datagram cap" % len(raw)
+                )
+            count += 1
+            if dst_machine is not None:
+                sendto(raw, dst_machine)
+            else:
+                for peer in peers:
+                    sendto(raw, peer)
+        self.sent += count
+        return count if (dst_machine is not None or peers) else 0
+
+    def flush_egress(self):
+        """Send every buffered datagram; returns how many went out."""
+        egress = self._egress
+        sendto = self._sock.sendto
+        flushed = 0
+        while True:
+            try:
+                raw, dst = egress.popleft()
+            except IndexError:
+                return flushed
+            if dst is not None:
+                sendto(raw, dst)
+            else:
+                for peer in self._peer_snapshot:
+                    sendto(raw, peer)
+            flushed += 1
+
+    def pump(self, budget=None):
+        """Station-API parity with :class:`~repro.net.nic.Nic`: ingress is
+        pumped by the background thread, so this only flushes buffered
+        egress."""
+        return self.flush_egress()
+
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
 
+    def _swap_admission(self):
+        """Rebuild the lock-free admission snapshot (callers hold _lock).
+
+        The dict is built fresh and swapped in with one attribute store
+        (atomic under the GIL), so the pump thread either sees the old
+        snapshot or the new one — never a half-mutated dict.
+        """
+        combined = dict(self._queues)
+        combined.update(self._handlers)
+        self._admission = combined
+
     def listen(self, port):
         wire_port = self.fbox.listen_port(as_port(port))
         with self._lock:
-            self._queues.setdefault(wire_port, queue.Queue())
+            if wire_port not in self._queues:
+                self._queues[wire_port] = queue.Queue()
+                self._swap_admission()
         return wire_port
 
     def unlisten(self, port):
@@ -108,6 +220,7 @@ class SocketNode:
         with self._lock:
             backlog = self._queues.pop(wire_port, None)
             self._handlers[wire_port] = handler
+            self._swap_admission()
         while backlog is not None:
             try:
                 frame = backlog.get_nowait()
@@ -123,20 +236,27 @@ class SocketNode:
 
     def poll_wire(self, wire_port, timeout=None):
         """Like :meth:`poll`, keyed by the wire port listen() returned."""
-        with self._lock:
-            q = self._queues.get(wire_port)
-        if q is None:
+        sink = self._admission.get(wire_port)
+        if type(sink) is not queue.Queue:
             return None
+        if self._egress:
+            # Our own buffered requests must reach the wire before we
+            # wait for their replies.
+            self.flush_egress()
         try:
-            return q.get(block=timeout is not None and timeout > 0, timeout=timeout)
+            return sink.get(
+                block=timeout is not None and timeout > 0, timeout=timeout
+            )
         except queue.Empty:
             return None
 
     def unlisten_wire(self, wire_port):
         """Like :meth:`unlisten`, keyed by the wire port listen() returned."""
         with self._lock:
-            self._queues.pop(wire_port, None)
-            self._handlers.pop(wire_port, None)
+            q = self._queues.pop(wire_port, None)
+            h = self._handlers.pop(wire_port, None)
+            if q is not None or h is not None:
+                self._swap_admission()
 
     # ------------------------------------------------------------------
     # pump thread
@@ -145,10 +265,15 @@ class SocketNode:
     def _pump_loop(self):
         from repro.net.network import Frame
 
+        QueueType = queue.Queue
         while not self._closed.is_set():
             try:
                 raw, src = self._sock.recvfrom(MAX_DATAGRAM + 1)
             except socket.timeout:
+                # Idle tick: anything a handler buffered since the last
+                # datagram still has to leave the machine.
+                if self._egress:
+                    self.flush_egress()
                 continue
             except OSError:
                 break
@@ -157,24 +282,30 @@ class SocketNode:
             except Exception:
                 continue  # garbage datagrams are dropped, like hardware would
             frame = Frame(src=src, dst_machine=None, message=message)
-            with self._lock:
-                handler = self._handlers.get(message.dest)
-                q = self._queues.get(message.dest)
-            if handler is not None:
-                self.received += 1
+            # One lock-free snapshot read decides admission and delivery.
+            sink = self._admission.get(message.dest)
+            if sink is None:
+                continue  # frames for ports nobody GETs are dropped
+            self.received += 1
+            if type(sink) is QueueType:
+                sink.put(frame)
+            else:
                 try:
-                    handler(frame)
+                    sink(frame)
                 except Exception:
-                    # A crashing server loop must not kill the transport.
-                    continue
-            elif q is not None:
-                self.received += 1
-                q.put(frame)
-            # Frames for ports nobody GETs are dropped silently.
+                    pass  # a crashing server loop must not kill the transport
+                # Replies the handler buffered go out with this iteration.
+                if self._egress:
+                    self.flush_egress()
 
     def close(self):
         self._closed.set()
         self._pump.join(timeout=2.0)
+        if self._egress:
+            try:
+                self.flush_egress()
+            except OSError:
+                pass  # socket may already be unusable; buffered frames drop
         self._sock.close()
 
     def __enter__(self):

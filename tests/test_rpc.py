@@ -131,3 +131,36 @@ class TestTrans:
         with pytest.raises(RPCTimeout):
             trans(client, wire, Message(), rng=RandomSource(seed=7),
                   dst_machine=other.address, timeout=0.05)
+
+
+class TestPollBlockingFeatureDetect:
+    """_poll_blocking keys off the supports_poll_timeout capability
+    attribute; the old TypeError probe swallowed genuine TypeErrors
+    raised inside delivery and misreported them as RPCTimeout."""
+
+    def test_nic_declares_no_timeout_support(self, net):
+        assert Nic(net).supports_poll_timeout is False
+
+    def test_socketnode_declares_timeout_support(self):
+        from repro.net.sockets import SocketNode
+
+        assert SocketNode.supports_poll_timeout is True
+
+    def test_delivery_typeerror_propagates(self, net):
+        # A station whose timed poll path itself raises TypeError (a real
+        # bug) must surface that bug, not a bogus timeout.
+        class BuggyNode(Nic):
+            supports_poll_timeout = True
+
+            def poll_wire(self, wire_port, timeout=None):
+                if timeout is not None:
+                    raise TypeError("broken delivery internals")
+                return super().poll_wire(wire_port)
+
+        nic = Nic(net)
+        g = PrivatePort(5)
+        nic.serve(g, lambda frame: None)  # swallow: forces the slow path
+        client = BuggyNode(net)
+        with pytest.raises(TypeError, match="broken delivery internals"):
+            trans(client, nic.fbox.listen_port(Port(5)), Message(),
+                  rng=RandomSource(seed=8), timeout=0.05)

@@ -108,6 +108,63 @@ class TestSocketTransport:
         with SocketNode() as node:
             assert node.address[1] > 0
 
+    def test_put_many_batch(self, nodes):
+        server, client = nodes(), nodes()
+        g = PrivatePort(6)
+        wire = server.listen(g)
+        batch = [Message(dest=wire, data=b"b%d" % i) for i in range(5)]
+        assert client.put_many(batch, dst_machine=server.address) == 5
+        got = sorted(
+            server.poll(g, timeout=2.0).message.data for _ in range(5)
+        )
+        assert got == [b"b%d" % i for i in range(5)]
+
+    def test_peer_snapshot_updates_on_connect(self, nodes):
+        server, client = nodes(), nodes()
+        assert client._peer_snapshot == ()
+        client.connect(server.address)
+        client.connect(server.address)  # deduplicated
+        assert client._peer_snapshot == (server.address,)
+
+    def test_admission_snapshot_tracks_listen_unlisten(self, nodes):
+        server = nodes()
+        g = PrivatePort(6)
+        wire = server.listen(g)
+        assert wire in server._admission
+        server.unlisten(g)
+        assert wire not in server._admission
+
+    def test_buffered_egress_rpc(self):
+        with SocketNode(buffer_egress=True) as server, \
+                SocketNode(buffer_egress=True) as client:
+            g = PrivatePort(9)
+
+            def handler(frame):
+                server.put(frame.message.reply_to(data=frame.message.data[::-1]),
+                           dst_machine=frame.src)
+
+            wire = server.serve(g, handler)
+            reply = trans(client, wire, Message(data=b"abc"),
+                          rng=RandomSource(seed=3),
+                          dst_machine=server.address, timeout=3.0)
+            assert reply.data == b"cba"
+
+    def test_buffered_egress_flushes_at_watermark(self):
+        with SocketNode(buffer_egress=True, flush_every=3) as sender, \
+                SocketNode() as receiver:
+            g = PrivatePort(4)
+            wire = receiver.listen(g)
+            for i in range(3):
+                sender.put(Message(dest=wire, data=b"w%d" % i),
+                           dst_machine=receiver.address)
+            # The third put crossed the watermark: all three are on the
+            # wire without anyone polling or pumping the sender.
+            assert len(sender._egress) == 0
+            got = sorted(
+                receiver.poll(g, timeout=2.0).message.data for _ in range(3)
+            )
+            assert got == [b"w0", b"w1", b"w2"]
+
     def test_object_server_over_sockets(self, nodes):
         from repro.ipc.client import ServiceClient
         from repro.ipc.server import ObjectServer, command
