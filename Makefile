@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -19,3 +19,8 @@ bench:
 ## seconds.  Does not overwrite BENCH_throughput.json.
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke
+
+## Tiny multi-process run of the real-wire UDP benchmark: server in its
+## own OS process over loopback, serial vs 16-in-flight pipelined.
+bench-udp-smoke:
+	$(PYTHON) benchmarks/bench_udp.py --smoke

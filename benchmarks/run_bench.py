@@ -33,10 +33,16 @@ SCHEMA = "bench_throughput/v1"
 
 def run_workloads(smoke=False):
     from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
+    from bench_udp import SMOKE_OVERRIDES as UDP_SMOKE_OVERRIDES
+    from bench_udp import WORKLOADS as UDP_WORKLOADS
 
+    workloads = dict(WORKLOADS)
+    workloads.update(UDP_WORKLOADS)
+    overrides = dict(SMOKE_OVERRIDES)
+    overrides.update(UDP_SMOKE_OVERRIDES)
     results = {}
-    for name, workload in WORKLOADS.items():
-        kwargs = SMOKE_OVERRIDES.get(name, {}) if smoke else {}
+    for name, workload in workloads.items():
+        kwargs = overrides.get(name, {}) if smoke else {}
         result = workload(**kwargs)
         if result is not None:  # None = API absent on this source tree
             results[name] = result
@@ -48,17 +54,25 @@ def _derive_ratios(results):
     """In-run comparison keys: pipelined vs the same run's serial echo."""
     pipelined = results.get("pipelined_16_inflight")
     echo = results.get("echo_round_trip")
-    if not pipelined or not echo:
-        return
-    serial = echo.get("trans_per_sec")
-    if not serial:
-        return
-    pipelined["vs_serial_echo_x"] = round(
-        pipelined["trans_per_sec"] / serial, 2
-    )
-    primitive = pipelined.get("primitive_trans_per_sec")
-    if primitive:
-        pipelined["primitive_vs_serial_echo_x"] = round(primitive / serial, 2)
+    if pipelined and echo:
+        serial = echo.get("trans_per_sec")
+        if serial:
+            pipelined["vs_serial_echo_x"] = round(
+                pipelined["trans_per_sec"] / serial, 2
+            )
+            primitive = pipelined.get("primitive_trans_per_sec")
+            if primitive:
+                pipelined["primitive_vs_serial_echo_x"] = round(
+                    primitive / serial, 2
+                )
+    udp_pipelined = results.get("udp_pipelined_16_inflight")
+    udp_echo = results.get("udp_echo_round_trip")
+    if udp_pipelined and udp_echo:
+        serial = udp_echo.get("trans_per_sec")
+        if serial:
+            udp_pipelined["vs_udp_serial_x"] = round(
+                udp_pipelined["trans_per_sec"] / serial, 2
+            )
 
 
 def run_in_tree(src_dir, smoke=False):
@@ -179,6 +193,9 @@ def main(argv=None):
     for key in ("vs_serial_echo_x", "primitive_vs_serial_echo_x"):
         if key in pipelined:
             print("  %-24s %11.2fx" % (key, pipelined[key]))
+    udp_pipelined = current.get("udp_pipelined_16_inflight", {})
+    if "vs_udp_serial_x" in udp_pipelined:
+        print("  %-24s %11.2fx" % ("vs_udp_serial_x", udp_pipelined["vs_udp_serial_x"]))
     for name, ratio in sorted(report.get("speedup", {}).items()):
         print("  %-24s %11.2fx" % (name, ratio))
 

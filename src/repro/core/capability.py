@@ -35,6 +35,34 @@ _MIN_EXTENDED_CHECK = 8
 _EXTENDED_HEADER = PORT_BYTES + OBJECT_BYTES + 1 + 2  # + 2-byte check length
 
 
+def validate_packed_length(buf, start, length):
+    """Check that ``buf[start:start+length]`` frames one packed capability.
+
+    Pure length arithmetic — no objects are built.  Raises exactly the
+    :class:`~repro.errors.MalformedCapability` that :meth:`Capability.unpack`
+    would raise for the same slice, which is what lets ``Message.unpack``
+    validate a frame eagerly while materializing its capabilities lazily:
+    after this passes, ``unpack`` on the slice cannot fail (ports decode
+    from fixed 6-byte fields, any byte is a valid ``Rights``).
+    """
+    if length == CAPABILITY_BYTES:
+        return
+    if length < _EXTENDED_HEADER:
+        raise MalformedCapability("capability too short: %d bytes" % length)
+    head = start + _EXTENDED_HEADER
+    check_len = (buf[head - 2] << 8) | buf[head - 1]
+    if check_len < _MIN_EXTENDED_CHECK:
+        raise MalformedCapability(
+            "extended check length %d below minimum %d"
+            % (check_len, _MIN_EXTENDED_CHECK)
+        )
+    if length != _EXTENDED_HEADER + check_len:
+        raise MalformedCapability(
+            "capability length %d does not match declared check length %d"
+            % (length, check_len)
+        )
+
+
 @dataclass(frozen=True)
 class Capability:
     """An unforgeable-in-practice reference to one object on one server.
@@ -70,21 +98,43 @@ class Capability:
         return len(self.check) == CHECK_BYTES
 
     def pack(self):
-        """Serialise to bytes (16 bytes canonical, longer for extended)."""
+        """Serialise to bytes (16 bytes canonical, longer for extended).
+
+        The image is cached on the instance: capabilities are frozen, so
+        the encoding can never change, and the hot path (header cap on
+        every request of a session) re-packs the same object per frame.
+        """
+        packed = self.__dict__.get("_packed")
+        if packed is not None:
+            return packed
         head = (
             self.port.to_bytes()
             + self.object.to_bytes(OBJECT_BYTES, "big")
             + bytes([int(self.rights)])
         )
-        if self.is_canonical:
-            return head + self.check
-        return (
-            self.port.to_bytes()
-            + self.object.to_bytes(OBJECT_BYTES, "big")
-            + bytes([int(self.rights)])
-            + len(self.check).to_bytes(2, "big")
-            + self.check
-        )
+        if len(self.check) == CHECK_BYTES:
+            packed = head + self.check
+        else:
+            packed = head + len(self.check).to_bytes(2, "big") + self.check
+        object.__setattr__(self, "_packed", packed)
+        return packed
+
+    @classmethod
+    def _trusted(cls, port, obj, rights, check):
+        """Build a capability skipping the ``__post_init__`` range checks.
+
+        Only for wire decoding of *pre-validated* frames: the caller
+        guarantees ``obj`` came from a 3-byte field, ``rights`` is a
+        :class:`Rights`, and ``check`` is bytes of a validated length
+        (``Message.unpack`` checks the framing arithmetic eagerly even
+        when it materializes the object lazily).
+        """
+        cap = cls.__new__(cls)
+        object.__setattr__(cap, "port", port)
+        object.__setattr__(cap, "object", obj)
+        object.__setattr__(cap, "rights", rights)
+        object.__setattr__(cap, "check", check)
+        return cap
 
     @classmethod
     def unpack(cls, data):
@@ -95,16 +145,18 @@ class Capability:
         capability.
         """
         if len(data) == CAPABILITY_BYTES:
-            port = Port.from_bytes(data[:PORT_BYTES])
+            port = Port.from_wire(bytes(data[:PORT_BYTES]))
             obj = int.from_bytes(data[PORT_BYTES:PORT_BYTES + OBJECT_BYTES], "big")
             rights = Rights(data[PORT_BYTES + OBJECT_BYTES])
             check = data[PORT_BYTES + OBJECT_BYTES + 1:]
-            return cls(port=port, object=obj, rights=rights, check=bytes(check))
+            # _trusted is sound: every field above came from a fixed-width
+            # slice of a 16-byte frame, so each is in range by construction.
+            return cls._trusted(port, obj, rights, bytes(check))
         if len(data) < _EXTENDED_HEADER:
             raise MalformedCapability(
                 "capability too short: %d bytes" % len(data)
             )
-        port = Port.from_bytes(data[:PORT_BYTES])
+        port = Port.from_wire(bytes(data[:PORT_BYTES]))
         obj = int.from_bytes(data[PORT_BYTES:PORT_BYTES + OBJECT_BYTES], "big")
         rights = Rights(data[PORT_BYTES + OBJECT_BYTES])
         check_len = int.from_bytes(
@@ -121,7 +173,7 @@ class Capability:
                 "capability length %d does not match declared check length %d"
                 % (len(data), check_len)
             )
-        return cls(port=port, object=obj, rights=rights, check=bytes(check))
+        return cls._trusted(port, obj, rights, bytes(check))
 
     def with_rights(self, rights):
         """A copy with a different rights field (check unchanged).

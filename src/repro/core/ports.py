@@ -20,6 +20,12 @@ from repro.util.bits import mask
 #: Bytes occupied by a port on the wire (Fig. 2: 48 bits).
 PORT_BYTES = PORT_BITS // 8
 
+#: Wire-decode intern table, ``6 wire bytes -> Port``; dropped wholesale
+#: when full, like the F-box image cache (fresh reply ports are random,
+#: so the table would otherwise grow one dead entry per transaction).
+_INTERN_MAX = 1 << 16
+_interned = {}
+
 
 @dataclass(frozen=True, order=True)
 class Port:
@@ -34,8 +40,17 @@ class Port:
             )
 
     def to_bytes(self):
-        """Big-endian wire encoding, exactly :data:`PORT_BYTES` long."""
-        return self.value.to_bytes(PORT_BYTES, "big")
+        """Big-endian wire encoding, exactly :data:`PORT_BYTES` long.
+
+        Cached on the instance: ports are immutable 48-bit values and hot
+        paths (pack, F-box egress) re-encode the same dest/signature ports
+        on every frame.
+        """
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = self.value.to_bytes(PORT_BYTES, "big")
+            object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data):
@@ -43,7 +58,30 @@ class Port:
             raise ValueError(
                 "port needs exactly %d bytes, got %d" % (PORT_BYTES, len(data))
             )
-        return cls(int.from_bytes(data, "big"))
+        return cls.from_wire(bytes(data))
+
+    @classmethod
+    def from_wire(cls, data):
+        """Decode exactly :data:`PORT_BYTES` trusted wire bytes, interned.
+
+        The per-frame decode path: ``Message.unpack`` and
+        ``Capability.unpack`` hand this exact-length slices of a validated
+        frame, so the length check and ``__post_init__`` range check (any
+        6 bytes are < 2**48) are both skipped.  Equal wire images yield
+        the *same* ``Port`` object — identity comparisons against
+        ``NULL_PORT`` and repeated service ports are pointer checks, and
+        the interned instance arrives with its ``to_bytes`` image cached.
+        """
+        port = _interned.get(data)
+        if port is None:
+            port = cls.__new__(cls)
+            object.__setattr__(port, "value", int.from_bytes(data, "big"))
+            object.__setattr__(port, "_wire", data)
+            if len(_interned) >= _INTERN_MAX:
+                _interned.clear()
+                _interned[_NULL_WIRE] = NULL_PORT
+            _interned[data] = port
+        return port
 
     @classmethod
     def _unchecked(cls, value):
@@ -90,6 +128,11 @@ class Port:
 
 #: The all-zero port, used for unused header fields.
 NULL_PORT = Port(0)
+
+#: Seed the intern table so every decoded null field IS ``NULL_PORT`` —
+#: the single hottest identity comparison on the wire path.
+_NULL_WIRE = NULL_PORT.to_bytes()
+_interned[_NULL_WIRE] = NULL_PORT
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ from abc import ABC, abstractmethod
 from repro.core.capability import CHECK_BYTES, Capability
 from repro.core.rights import ALL_RIGHTS, RIGHTS_WIDTH, Rights
 from repro.crypto.commutative import CommutativeOneWayFamily
-from repro.crypto.feistel import RIGHTS_CHECK_BLOCK_BITS, FeistelCipher
+from repro.crypto.feistel import RIGHTS_CHECK_BLOCK_BITS, feistel_for_key
 from repro.crypto.oneway import OneWayFunction
 from repro.errors import BadRequest, InvalidCapability
 from repro.util.bits import constant_time_eq, mask
@@ -151,7 +151,9 @@ class EncryptedRightsScheme(ProtectionScheme):
         return rng.bytes(self._KEY_BYTES)
 
     def _cipher(self, secret):
-        return FeistelCipher(secret, block_bits=RIGHTS_CHECK_BLOCK_BITS)
+        # Per-key cache: the key schedule for an object's secret is built
+        # on the first mint/verify, not on every capability check.
+        return feistel_for_key(secret, block_bits=RIGHTS_CHECK_BLOCK_BITS)
 
     def mint(self, secret, rights):
         rights = Rights(rights)

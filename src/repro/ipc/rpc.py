@@ -20,6 +20,7 @@ reply put-port is visible on the wire) then fail the signature comparison
 and are discarded.  This is the digital-signature mechanism of §2.2.
 """
 
+import queue as _queue
 import time
 
 from repro.core.ports import PORT_BYTES, Port, as_port
@@ -27,6 +28,7 @@ from repro.crypto.randomsrc import RandomSource
 from repro.errors import PortNotLocated, RPCTimeout
 from repro.net.network import SimNetwork
 from repro.net.nic import Nic
+from repro.net.sockets import SocketNode
 
 _DEFAULT_RNG = RandomSource()
 
@@ -336,6 +338,15 @@ def trans_many(
             secrets = _draw_secrets(rng, len(requests))
         # Randomness is demonstrably broken (four colliding batches);
         # the sequential path below has exactly trans()'s behavior.
+    elif type(node) is SocketNode:
+        for _ in range(4):
+            replies = _trans_many_sockets(
+                node, dest, requests, secrets, expect_signature,
+                dst_machine, signature, timeout,
+            )
+            if replies is not None:
+                return replies
+            secrets = _draw_secrets(rng, len(requests))
     calls = []
     try:
         for request, secret in zip(requests, secrets):
@@ -368,6 +379,76 @@ def _draw_secrets(rng, n):
         )
         for i in range(n)
     ]
+
+
+def _trans_many_sockets(node, dest, requests, secrets, expect_signature,
+                        dst_machine, signature, timeout):
+    """The batch lane for a :class:`SocketNode` — real pipelining.
+
+    Protocol-identical to N :class:`AsyncTrans` (fresh reply port each,
+    same F-box transformation per message, same signature screening) but
+    issued batchwise: one ``listen_fresh`` admission swap, one
+    ``put_owned_bulk`` burst of datagrams, then the replies are collected
+    in request order from the live reply queues (each transaction keeps
+    its own ``timeout`` budget, like ``AsyncTrans.result``).  While the
+    client blocks on reply *i*, the server is already working on
+    *i+1..N* — which is where the multiplicative win over serial
+    ``trans`` comes from on a real wire.  Returns None on a reply-port
+    collision (caller redraws, exactly like the simulator lane).
+    """
+    wires = node.listen_fresh(secrets)
+    if wires is None:
+        return None
+    try:
+        sig_port = as_port(signature) if signature is not None else None
+        outgoing = []
+        for request, secret in zip(requests, secrets):
+            if sig_port is None:
+                outgoing.append(
+                    request._evolve(dest=dest, reply=secret, is_reply=False)
+                )
+            else:
+                outgoing.append(
+                    request._evolve(
+                        dest=dest,
+                        reply=secret,
+                        signature=sig_port,
+                        is_reply=False,
+                    )
+                )
+        accepted = node.put_owned_bulk(outgoing, dst_machine)
+        if accepted == 0 and dst_machine is None:
+            raise PortNotLocated(
+                "no server is listening on port %r" % (dest,)
+            )
+        replies = []
+        for sink in node.reply_queues(wires):
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RPCTimeout(
+                        "pipelined transaction got no reply from port %r"
+                        % (dest,)
+                    )
+                try:
+                    frame = sink.get(timeout=remaining)
+                except _queue.Empty:
+                    raise RPCTimeout(
+                        "pipelined transaction got no reply from port %r"
+                        % (dest,)
+                    ) from None
+                reply = frame.message
+                if (
+                    expect_signature is not None
+                    and reply.signature != expect_signature
+                ):
+                    continue  # a forged reply: keep waiting for the real one
+                replies.append(reply)
+                break
+        return replies
+    finally:
+        node.unlisten_wire_many(wires)
 
 
 def _trans_many_fused(node, dest, requests, secrets, expect_signature,

@@ -250,11 +250,16 @@ class ObjectServer:
         On a deferred-delivery network the server registers a *batch*
         handler: the event loop then delivers whole ingress-queue runs,
         and :meth:`_handle_frames` hoists the per-request mode checks out
-        of the loop.  Synchronous networks and socket nodes keep the
-        per-frame handler; the dispatch semantics are identical.
+        of the loop.  Socket nodes advertise ``supports_batch_serve``
+        (their pump coalesces each recv burst into one delivery) and get
+        the same batch handler.  Synchronous simulated networks keep the
+        per-frame handler; the dispatch semantics are identical either
+        way.
         """
         network = getattr(self.node, "network", None)
-        if network is not None and getattr(network, "loop", None) is not None:
+        if (
+            network is not None and getattr(network, "loop", None) is not None
+        ) or getattr(self.node, "supports_batch_serve", False):
             self.node.serve_batch(self.get_port, self._handle_frames)
         else:
             self.node.serve(self.get_port, self._handle_frame)

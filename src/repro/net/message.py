@@ -32,16 +32,25 @@ Two construction disciplines share this one layout (see
 * the **trusted** path — ``unpack``, ``reply_to``, the F-box egress copy
   — skips them.  For ``unpack`` this is sound because the fixed header is
   decoded with width-limited struct codes (``H``/``Q``/``I``) and the
-  ports with exact-length ``Port.from_bytes``, so every field is in range
-  by construction; for the others the source message was already
+  ports with exact-length interned wire decoding, so every field is in
+  range by construction; for the others the source message was already
   validated when it was built.
+
+``unpack`` is additionally **lazy**: it validates the *entire* frame
+eagerly (magic, version, lengths, capability and extra-cap framing — all
+arithmetic, no object construction) and decodes only the header fields;
+the body — ``capability``, ``extra_caps``, ``data``, ``sealed_caps`` —
+stays raw bytes until first touched.  A frame that is only routed,
+screened, or replied to from its header never pays ``Capability.unpack``
+or a payload copy.  Because validation is eager, every error a frame can
+produce is raised by ``unpack`` itself; materialization cannot fail.
 """
 
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.core.capability import Capability
+from repro.core.capability import Capability, validate_packed_length
 from repro.core.ports import NULL_PORT, Port
 from repro.errors import BadRequest
 
@@ -156,7 +165,16 @@ class Message:
 
     @classmethod
     def unpack(cls, raw):
-        """Parse wire bytes; raises :class:`BadRequest` on framing errors."""
+        """Parse wire bytes; raises :class:`BadRequest` on framing errors.
+
+        Validation is eager — a malformed frame raises here, never later
+        — but the body is decoded lazily: the returned message is a
+        :class:`_WireMessage` whose ``capability`` / ``extra_caps`` /
+        ``data`` / ``sealed_caps`` are materialized from the raw frame on
+        first access.  Header fields (ports, command, status, offset,
+        size, is_reply) are always decoded immediately, since routing and
+        admission read them on every frame.
+        """
         if len(raw) < HEADER_BYTES:
             raise BadRequest("message truncated at %d bytes" % len(raw))
         (
@@ -182,41 +200,37 @@ class Message:
                 "length mismatch: header says %d, frame is %d"
                 % (HEADER_BYTES + caplen + datalen, len(raw))
             )
-        cap_bytes = raw[HEADER_BYTES:HEADER_BYTES + caplen]
-        payload = raw[HEADER_BYTES + caplen:]
-        sealed_caps = b""
-        capability = None
-        if flags & _FLAG_SEALED:
-            sealed_caps = bytes(cap_bytes)
-        elif caplen:
-            capability = Capability.unpack(cap_bytes)
-        n_extra = payload[0] if payload else 0
-        pos = 1
-        extra_caps = []
-        for _ in range(n_extra):
-            if pos + 2 > len(payload):
-                raise BadRequest("truncated extra capability list")
-            clen = int.from_bytes(payload[pos:pos + 2], "big")
-            pos += 2
-            if pos + clen > len(payload):
-                raise BadRequest("truncated extra capability")
-            extra_caps.append(Capability.unpack(payload[pos:pos + clen]))
-            pos += clen
-        data = payload[pos:]
-        return cls._trusted(
-            dest=Port.from_bytes(dest),
-            reply=Port.from_bytes(reply),
-            signature=Port.from_bytes(signature),
-            command=command,
-            status=status,
-            offset=offset,
-            size=size,
-            capability=capability,
-            data=bytes(data),
-            is_reply=bool(flags & _FLAG_REPLY),
-            extra_caps=tuple(extra_caps),
-            sealed_caps=sealed_caps,
-        )
+        if type(raw) is not bytes:
+            raw = bytes(raw)
+        if caplen and not flags & _FLAG_SEALED:
+            validate_packed_length(raw, HEADER_BYTES, caplen)
+        body = HEADER_BYTES + caplen
+        if datalen:
+            n_extra = raw[body]
+            if n_extra:
+                pos = body + 1
+                end = body + datalen
+                for _ in range(n_extra):
+                    if pos + 2 > end:
+                        raise BadRequest("truncated extra capability list")
+                    clen = (raw[pos] << 8) | raw[pos + 1]
+                    pos += 2
+                    if pos + clen > end:
+                        raise BadRequest("truncated extra capability")
+                    validate_packed_length(raw, pos, clen)
+                    pos += clen
+        self = _WireMessage.__new__(_WireMessage)
+        d = self.__dict__
+        d["dest"] = Port.from_wire(dest)
+        d["reply"] = Port.from_wire(reply)
+        d["signature"] = Port.from_wire(signature)
+        d["command"] = command
+        d["status"] = status
+        d["offset"] = offset
+        d["size"] = size
+        d["is_reply"] = True if flags & _FLAG_REPLY else False
+        d["_wire"] = (raw, caplen, flags)
+        return self
 
     # ------------------------------------------------------------------
     # trusted fast paths (see module docstring)
@@ -329,6 +343,29 @@ class Message:
         reply.__dict__ = fields
         return reply
 
+    def __eq__(self, other):
+        # Field-by-field instead of the dataclass-generated version so a
+        # lazily-decoded _WireMessage compares equal to the plain Message
+        # it encodes (dataclass __eq__ requires identical classes).
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.dest == other.dest
+            and self.reply == other.reply
+            and self.signature == other.signature
+            and self.command == other.command
+            and self.status == other.status
+            and self.offset == other.offset
+            and self.size == other.size
+            and self.is_reply == other.is_reply
+            and self.data == other.data
+            and self.capability == other.capability
+            and self.extra_caps == other.extra_caps
+            and self.sealed_caps == other.sealed_caps
+        )
+
+    __hash__ = None  # mutable, like every dataclass with eq and no frozen
+
     def __repr__(self):
         kind = "reply" if self.is_reply else "request"
         return "Message(%s, dest=%012x, cmd=%d, status=%d, %d data bytes)" % (
@@ -338,6 +375,96 @@ class Message:
             self.status,
             len(self.data),
         )
+
+
+class _LazyBody:
+    """Non-data descriptor for one lazily-decoded body field.
+
+    First access materializes the whole body (all four fields at once —
+    they share one parse of the raw frame) into the instance ``__dict__``,
+    which then shadows the descriptor, so every later read is a plain
+    attribute hit.  Being a non-data descriptor also means assignment
+    (``message.data = ...``) just writes the instance dict, exactly like
+    a plain Message.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        obj._materialize_body()
+        return obj.__dict__[self.name]
+
+
+class _WireMessage(Message):
+    """A message decoded from the wire with its body still in raw bytes.
+
+    Built only by :meth:`Message.unpack`, which has already validated the
+    complete frame — so materialization below is straight-line decoding
+    that cannot raise.  ``_wire`` in the instance dict holds
+    ``(raw_frame, caplen, flags)`` until the first body access.  The
+    in-range guarantee of the trusted constructor holds unchanged: every
+    field comes from a width-limited slice of the validated frame.
+    """
+
+    capability = _LazyBody("capability")
+    extra_caps = _LazyBody("extra_caps")
+    data = _LazyBody("data")
+    sealed_caps = _LazyBody("sealed_caps")
+
+    def _materialize_body(self):
+        # Fields already in the instance dict are *writes* (assignment on
+        # a still-lazy message lands there, shadowing the descriptor) and
+        # must win over the frame's decoded values.
+        d = self.__dict__
+        wire = d.get("_wire")
+        if wire is None:
+            return
+        raw, caplen, flags = wire
+        body = HEADER_BYTES + caplen
+        if flags & _FLAG_SEALED:
+            d.setdefault("sealed_caps", raw[HEADER_BYTES:body])
+            d.setdefault("capability", None)
+        else:
+            d.setdefault("sealed_caps", b"")
+            if "capability" not in d:
+                d["capability"] = (
+                    Capability.unpack(raw[HEADER_BYTES:body]) if caplen else None
+                )
+        if len(raw) == body:
+            d.setdefault("extra_caps", ())
+            d.setdefault("data", b"")
+        else:
+            n_extra = raw[body]
+            pos = body + 1
+            if n_extra:
+                caps = [] if "extra_caps" not in d else None
+                for _ in range(n_extra):
+                    clen = (raw[pos] << 8) | raw[pos + 1]
+                    pos += 2
+                    if caps is not None:
+                        caps.append(Capability.unpack(raw[pos:pos + clen]))
+                    pos += clen
+                if caps is not None:
+                    d["extra_caps"] = tuple(caps)
+            else:
+                d.setdefault("extra_caps", ())
+            d.setdefault("data", raw[pos:])
+        d.pop("_wire", None)
+
+    def _evolve(self, **changes):
+        # The base _evolve merges into __dict__ and treats any key growth
+        # as a typo'd field; a still-lazy body field is absent from the
+        # dict, so materialize first when a change names one.  Changes
+        # confined to header fields (the F-box, trans) stay lazy, and the
+        # clone shares the immutable raw frame.
+        if changes and not changes.keys() <= self.__dict__.keys():
+            self._materialize_body()
+        return super()._evolve(**changes)
 
 
 #: The canonical field defaults for a reply template (see reply_to),

@@ -14,6 +14,7 @@ the simulator remains the reference for security experiments.
 """
 
 import queue
+import select
 import socket
 import threading
 from collections import deque
@@ -26,6 +27,30 @@ from repro.net.message import Message
 #: file transfers chunk themselves beneath this.
 MAX_DATAGRAM = 60000
 
+#: Magic prefix of an *aggregate carrier* datagram: a coalesced run of
+#: same-destination frames, each 4-byte length-prefixed.  Transport-level
+#: framing only — every inner frame is an ordinary, individually F-box
+#: transformed message that went through the normal admission path on
+#: arrival; aggregation changes how many syscalls a burst costs, never
+#: what is on the wire inside them.  Cannot collide with a plain message
+#: (those start with the codec magic ``b"AM"``).
+_AGG_MAGIC = b"AB1"
+_AGG_HEADER = len(_AGG_MAGIC)
+
+
+class _BatchSink:
+    """Admission-snapshot marker wrapping a *batch* request handler.
+
+    The pump groups each ingress burst's admitted frames per batch sink
+    and delivers them as one ``handler(frames)`` call — the socket
+    counterpart of the event loop's coalesced queue runs.
+    """
+
+    __slots__ = ("handler",)
+
+    def __init__(self, handler):
+        self.handler = handler
+
 
 class SocketNode:
     """One station on a real UDP network.
@@ -34,9 +59,9 @@ class SocketNode:
     client threads send):
 
     * **Admission is a lock-free snapshot.**  ``_admission`` maps wire
-      port → sink (a ``queue.Queue`` for client GETs, a callable for
-      server GETs) and is *replaced wholesale* — never mutated — under
-      ``_lock`` by listen/serve/unlisten.  Readers (the pump thread's
+      port → sink (a ``queue.SimpleQueue`` for client GETs, a callable
+      for server GETs) and is *replaced wholesale* — never mutated —
+      under ``_lock`` by listen/serve/unlisten.  Readers (the pump thread's
       per-datagram lookup, ``poll_wire``) just read the attribute: no
       lock round-trip on the per-datagram path.
     * **Peers are a snapshot tuple**, rebuilt by ``connect`` so
@@ -49,18 +74,36 @@ class SocketNode:
       ``flush_every`` pending datagrams, and on ``close``.  Buffering
       changes *when* bytes leave, never *what* leaves — every datagram
       still went through the F-box transform in ``put``.
+    * **Ingress is batched.**  After the blocking receive that starts a
+      pump iteration, the pump drains up to ``recv_batch - 1`` further
+      datagrams non-blocking, dispatches the whole burst, and flushes
+      buffered egress once — so a pipelined client's burst of requests
+      becomes one batch of handler calls and one reply flush, mirroring
+      the egress coalescing on the receive side.  Admission, ordering,
+      and drop behaviour per datagram are identical to one-at-a-time
+      receives.
     """
 
     #: Capability attribute for the RPC layer: poll_wire accepts a
     #: timeout here (frames arrive from a real wire at any time).
     supports_poll_timeout = True
 
+    #: Capability attribute for ObjectServer.start(): recv-side batching
+    #: makes batch dispatch (serve_batch + bulk reply egress) profitable
+    #: on this transport.
+    supports_batch_serve = True
+
+    #: Seconds the pump blocks per receive before checking for shutdown
+    #: and buffered egress; also restored after each non-blocking drain.
+    _POLL_INTERVAL = 0.1
+
     def __init__(self, fbox=None, bind_host="127.0.0.1", buffer_egress=False,
-                 flush_every=32):
+                 flush_every=32, recv_batch=32):
         self.fbox = fbox or FBox()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((bind_host, 0))
-        self._sock.settimeout(0.1)
+        self._sock.settimeout(self._POLL_INTERVAL)
+        self.recv_batch = recv_batch
         self.address = self._sock.getsockname()
         self._queues = {}
         self._handlers = {}
@@ -99,6 +142,20 @@ class SocketNode:
     # egress
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _pack_for_wire(message, transform):
+        """The one egress serialisation: transform, pack, size-check.
+
+        Every egress path goes through here so the datagram-cap policy
+        cannot drift between the single, batch, and buffered variants;
+        ``transform`` is the caller's choice of F-box path (copying or
+        owned — the transformation itself is identical).
+        """
+        raw = transform(message).pack()
+        if len(raw) > MAX_DATAGRAM:
+            raise ValueError("message of %d bytes exceeds datagram cap" % len(raw))
+        return raw
+
     def put(self, message, dst_machine=None):
         """Transform through the F-box and transmit as a UDP datagram.
 
@@ -107,9 +164,7 @@ class SocketNode:
         admission filters decide — the loopback stand-in for a broadcast
         segment.
         """
-        raw = self.fbox.transform_egress(message).pack()
-        if len(raw) > MAX_DATAGRAM:
-            raise ValueError("message of %d bytes exceeds datagram cap" % len(raw))
+        raw = self._pack_for_wire(message, self.fbox.transform_egress)
         self.sent += 1
         if self.buffer_egress:
             self._egress.append((raw, dst_machine))
@@ -128,6 +183,94 @@ class SocketNode:
     # question moot here, so the plain path is reused.
     put_owned = put
 
+    def _send_run(self, raws, dst):
+        """Send a run of packed frames to one destination, coalesced.
+
+        A lone frame goes out as a plain datagram; two or more travel in
+        aggregate carriers (``_AGG_MAGIC`` + length-prefixed frames),
+        chunked under :data:`MAX_DATAGRAM` — one syscall per carrier
+        instead of one per frame.  On a single shared CPU this is the
+        difference between pipelining amortizing the kernel crossings
+        and merely reordering them.
+        """
+        sendto = self._sock.sendto
+        if len(raws) == 1:
+            sendto(raws[0], dst)
+            return
+        parts = []
+        size = _AGG_HEADER
+        for raw in raws:
+            need = 4 + len(raw)
+            if _AGG_HEADER + need > MAX_DATAGRAM:
+                # Too big to ride a carrier at all (the frame itself is
+                # within the cap, but not with carrier overhead): flush
+                # what is pending to keep ordering, then send it plain.
+                if parts:
+                    sendto(_AGG_MAGIC + b"".join(parts), dst)
+                    parts = []
+                    size = _AGG_HEADER
+                sendto(raw, dst)
+                continue
+            if parts and size + need > MAX_DATAGRAM:
+                sendto(_AGG_MAGIC + b"".join(parts), dst)
+                parts = []
+                size = _AGG_HEADER
+            parts.append(len(raw).to_bytes(4, "big"))
+            parts.append(raw)
+            size += need
+        if parts:
+            sendto(_AGG_MAGIC + b"".join(parts), dst)
+
+    def put_owned_bulk(self, messages, dst_machine=None):
+        """Transform a batch of privately built messages in place and
+        transmit — the egress half of a pipelined issue over sockets.
+
+        Each message gets the identical, unconditional F-box
+        transformation of :meth:`put_owned`; the burst then leaves as
+        aggregate carriers (see :meth:`_send_run`), so a 16-in-flight
+        issue costs one or two ``sendto`` calls instead of sixteen.
+        """
+        if self._egress:
+            # Same-sender ordering: earlier buffered datagrams first.
+            self.flush_egress()
+        transform = self.fbox.transform_egress_owned
+        pack = self._pack_for_wire
+        peers = self._peer_snapshot
+        raws = [pack(message, transform) for message in messages]
+        self.sent += len(raws)
+        if raws:
+            if dst_machine is not None:
+                self._send_run(raws, dst_machine)
+            else:
+                for peer in peers:
+                    self._send_run(raws, peer)
+        return len(raws) if (dst_machine is not None or peers) else 0
+
+    def put_owned_unicast_bulk(self, pairs):
+        """Transmit a batch of privately built unicast (message, machine)
+        pairs — a batch server's reply egress.  Each message is F-box
+        transformed in place exactly as :meth:`put_owned` would;
+        consecutive same-destination replies share aggregate carriers."""
+        if self._egress:
+            self.flush_egress()
+        transform = self.fbox.transform_egress_owned
+        pack = self._pack_for_wire
+        count = 0
+        run = []
+        run_dst = None
+        for message, dst in pairs:
+            raw = pack(message, transform)
+            count += 1
+            if dst != run_dst and run:
+                self._send_run(run, run_dst)
+                run = []
+            run_dst = dst
+            run.append(raw)
+        if run:
+            self._send_run(run, run_dst)
+        self.sent += count
+        return count
+
     def put_many(self, messages, dst_machine=None):
         """Transform and transmit a batch in one pass.
 
@@ -142,15 +285,12 @@ class SocketNode:
             # contract.
             self.flush_egress()
         transform = self.fbox.transform_egress
+        pack = self._pack_for_wire
         sendto = self._sock.sendto
         peers = self._peer_snapshot
         count = 0
         for message in messages:
-            raw = transform(message).pack()
-            if len(raw) > MAX_DATAGRAM:
-                raise ValueError(
-                    "message of %d bytes exceeds datagram cap" % len(raw)
-                )
+            raw = pack(message, transform)
             count += 1
             if dst_machine is not None:
                 sendto(raw, dst_machine)
@@ -161,21 +301,38 @@ class SocketNode:
         return count if (dst_machine is not None or peers) else 0
 
     def flush_egress(self):
-        """Send every buffered datagram; returns how many went out."""
+        """Send every buffered datagram; returns how many went out.
+
+        Consecutive same-destination datagrams leave coalesced in
+        aggregate carriers (runs are consecutive, so ordering per
+        destination is untouched); a server's burst of replies to one
+        pipelined client is one syscall.
+        """
         egress = self._egress
-        sendto = self._sock.sendto
         flushed = 0
+        run = []
+        run_dst = None
         while True:
             try:
                 raw, dst = egress.popleft()
             except IndexError:
-                return flushed
-            if dst is not None:
-                sendto(raw, dst)
-            else:
-                for peer in self._peer_snapshot:
-                    sendto(raw, peer)
+                break
+            if run and dst != run_dst:
+                self._flush_run(run, run_dst)
+                run = []
+            run_dst = dst
+            run.append(raw)
             flushed += 1
+        if run:
+            self._flush_run(run, run_dst)
+        return flushed
+
+    def _flush_run(self, raws, dst):
+        if dst is not None:
+            self._send_run(raws, dst)
+        else:
+            for peer in self._peer_snapshot:
+                self._send_run(raws, peer)
 
     def pump(self, budget=None):
         """Station-API parity with :class:`~repro.net.nic.Nic`: ingress is
@@ -202,9 +359,58 @@ class SocketNode:
         wire_port = self.fbox.listen_port(as_port(port))
         with self._lock:
             if wire_port not in self._queues:
-                self._queues[wire_port] = queue.Queue()
+                # SimpleQueue: C-implemented, a fraction of queue.Queue's
+                # construction and handoff cost — and a GET sink needs
+                # none of Queue's task tracking.
+                self._queues[wire_port] = queue.SimpleQueue()
                 self._swap_admission()
         return wire_port
+
+    def listen_fresh(self, ports):
+        """Batch GET on a set of fresh (just-drawn) reply ports.
+
+        The socket counterpart of :meth:`Nic.listen_fresh`: every port is
+        one-wayed in one F-box batch and admitted under a single lock
+        acquisition and admission swap, instead of one rebuild per
+        transaction.  Returns the wire ports, or None when any wire port
+        collides with an existing GET or another port of the batch
+        (callers fall back to issuing one at a time — sharing a sink
+        would cross two transactions' replies).
+        """
+        wires = self.fbox.one_way_batch(ports)
+        with self._lock:
+            queues = self._queues
+            handlers = self._handlers
+            if len(set(wires)) != len(wires):
+                return None
+            for wire_port in wires:
+                if wire_port in queues or wire_port in handlers:
+                    return None
+            for wire_port in wires:
+                queues[wire_port] = queue.SimpleQueue()
+            self._swap_admission()
+        return wires
+
+    def reply_queues(self, wire_ports):
+        """The live queue sinks for a batch of wire ports (collect half
+        of a pipelined issue).  The GETs stay admitted — withdraw with
+        :meth:`unlisten_wire_many` only after the replies are in, so the
+        pump never drops an in-flight reply."""
+        admission = self._admission
+        return [admission.get(wire_port) for wire_port in wire_ports]
+
+    def unlisten_wire_many(self, wire_ports):
+        """Withdraw a batch of GETs with one admission swap."""
+        with self._lock:
+            changed = False
+            for wire_port in wire_ports:
+                if (
+                    self._queues.pop(wire_port, None) is not None
+                    or self._handlers.pop(wire_port, None) is not None
+                ):
+                    changed = True
+            if changed:
+                self._swap_admission()
 
     def unlisten(self, port):
         self.unlisten_wire(self.fbox.listen_port(as_port(port)))
@@ -229,6 +435,32 @@ class SocketNode:
             handler(frame)
         return wire_port
 
+    def serve_batch(self, port, batch_handler):
+        """Register a *batch* request handler; it runs on the pump thread.
+
+        Each pump iteration's ingress burst for this port arrives as one
+        ``batch_handler(frames)`` call (arrival order preserved), so a
+        pipelined client's 16 requests cost one dispatch preamble and —
+        with :meth:`put_owned_unicast_bulk` — one reply burst.  Backlog
+        queued by an earlier listen() is delivered as its own batch.
+        """
+        wire_port = self.fbox.listen_port(as_port(port))
+        sink = _BatchSink(batch_handler)
+        with self._lock:
+            backlog = self._queues.pop(wire_port, None)
+            self._handlers[wire_port] = sink
+            self._swap_admission()
+        if backlog is not None:
+            frames = []
+            while True:
+                try:
+                    frames.append(backlog.get_nowait())
+                except queue.Empty:
+                    break
+            if frames:
+                batch_handler(frames)
+        return wire_port
+
     def poll(self, port, timeout=None):
         """Next admitted frame for GET(port), blocking up to ``timeout``."""
         wire_port = self.fbox.listen_port(as_port(port))
@@ -237,7 +469,7 @@ class SocketNode:
     def poll_wire(self, wire_port, timeout=None):
         """Like :meth:`poll`, keyed by the wire port listen() returned."""
         sink = self._admission.get(wire_port)
-        if type(sink) is not queue.Queue:
+        if type(sink) is not queue.SimpleQueue:
             return None
         if self._egress:
             # Our own buffered requests must reach the wire before we
@@ -265,10 +497,13 @@ class SocketNode:
     def _pump_loop(self):
         from repro.net.network import Frame
 
-        QueueType = queue.Queue
+        QueueType = queue.SimpleQueue
+        sock = self._sock
+        unpack = Message.unpack
+        batch = []
         while not self._closed.is_set():
             try:
-                raw, src = self._sock.recvfrom(MAX_DATAGRAM + 1)
+                batch.append(sock.recvfrom(MAX_DATAGRAM + 1))
             except socket.timeout:
                 # Idle tick: anything a handler buffered since the last
                 # datagram still has to leave the machine.
@@ -277,26 +512,85 @@ class SocketNode:
                 continue
             except OSError:
                 break
-            try:
-                message = Message.unpack(raw)
-            except Exception:
-                continue  # garbage datagrams are dropped, like hardware would
-            frame = Frame(src=src, dst_machine=None, message=message)
-            # One lock-free snapshot read decides admission and delivery.
-            sink = self._admission.get(message.dest)
-            if sink is None:
-                continue  # frames for ports nobody GETs are dropped
-            self.received += 1
-            if type(sink) is QueueType:
-                sink.put(frame)
-            else:
+            # Drain whatever else has already arrived, without blocking:
+            # a zero-timeout select probes readability (the timeout is a
+            # socket-wide attribute shared with concurrent senders, so
+            # toggling it here would turn their blocking sendto calls
+            # into spurious BlockingIOErrors), and a readable socket
+            # makes the recvfrom return at once.  The burst a pipelined
+            # client or a coalescing sender put on the wire is dispatched
+            # as one batch with one egress flush at the end.
+            limit = self.recv_batch
+            if limit > 1:
                 try:
-                    sink(frame)
+                    while (
+                        len(batch) < limit
+                        and select.select([sock], [], [], 0)[0]
+                    ):
+                        batch.append(sock.recvfrom(MAX_DATAGRAM + 1))
+                except OSError:
+                    pass  # socket closing mid-drain; outer loop notices
+            # Split aggregate carriers back into individual frames; each
+            # inner frame then takes the identical unpack/admission path
+            # a plain datagram takes.  A truncated carrier tail is
+            # dropped like any other garbage datagram.
+            expanded = []
+            for raw, src in batch:
+                if raw[:_AGG_HEADER] != _AGG_MAGIC:
+                    expanded.append((raw, src))
+                    continue
+                pos = _AGG_HEADER
+                end = len(raw)
+                while pos + 4 <= end:
+                    flen = int.from_bytes(raw[pos:pos + 4], "big")
+                    pos += 4
+                    if pos + flen > end:
+                        break
+                    expanded.append((raw[pos:pos + flen], src))
+                    pos += flen
+            admitted = 0
+            batch_runs = None
+            for raw, src in expanded:
+                try:
+                    message = unpack(raw)
                 except Exception:
-                    pass  # a crashing server loop must not kill the transport
-                # Replies the handler buffered go out with this iteration.
-                if self._egress:
-                    self.flush_egress()
+                    continue  # garbage datagrams are dropped, like hardware
+                # One lock-free snapshot read decides admission/delivery —
+                # re-read per datagram so a listen() a handler just made
+                # admits later datagrams of the same batch.
+                sink = self._admission.get(message.dest)
+                if sink is None:
+                    continue  # frames for ports nobody GETs are dropped
+                admitted += 1
+                frame = Frame(src=src, dst_machine=None, message=message)
+                kind = type(sink)
+                if kind is QueueType:
+                    sink.put(frame)
+                elif kind is _BatchSink:
+                    # Coalesce this burst's frames into one handler call.
+                    if batch_runs is None:
+                        batch_runs = {}
+                    run = batch_runs.get(sink)
+                    if run is None:
+                        batch_runs[sink] = [frame]
+                    else:
+                        run.append(frame)
+                else:
+                    try:
+                        sink(frame)
+                    except Exception:
+                        pass  # a crashing server must not kill the transport
+            if batch_runs is not None:
+                for sink, frames in batch_runs.items():
+                    try:
+                        sink.handler(frames)
+                    except Exception:
+                        pass  # a crashing server must not kill the transport
+            batch.clear()
+            self.received += admitted
+            # Replies the handlers buffered go out with this iteration.
+            if self._egress:
+                self.flush_egress()
 
     def close(self):
         self._closed.set()

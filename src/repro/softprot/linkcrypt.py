@@ -15,7 +15,7 @@ path.
 """
 
 from repro.core.ports import PrivatePort
-from repro.crypto.feistel import WideBlockCipher
+from repro.crypto.feistel import wide_cipher_for_key
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import SecurityError
 from repro.net.message import Message
@@ -48,8 +48,18 @@ class LinkCryptNode:
         self.endpoint = (nic.address, self.link_port.public)
 
     def add_line(self, peer_machine, peer_link_port, key):
-        """Configure one encrypted line to a peer machine."""
-        self._line_keys[peer_machine] = (peer_link_port, bytes(key))
+        """Configure one encrypted line to a peer machine.
+
+        The line's cipher is resolved here, once: its per-round key
+        states are absorbed at line setup, so per-frame encryption and
+        decryption only copy hash states instead of rebuilding the key
+        schedule (the cipher is stateless and shared via the per-key
+        cache, so two nodes on the same key use one instance).
+        """
+        self._line_keys[peer_machine] = (
+            peer_link_port,
+            wide_cipher_for_key(bytes(key)),
+        )
 
     def put(self, message, dst_machine):
         """Send a message down the encrypted line to ``dst_machine``.
@@ -58,7 +68,7 @@ class LinkCryptNode:
         are point to point, so the destination machine must be known.
         """
         try:
-            peer_port, key = self._line_keys[dst_machine]
+            peer_port, cipher = self._line_keys[dst_machine]
         except KeyError:
             raise SecurityError(
                 "no encrypted line configured to machine %r" % (dst_machine,)
@@ -67,7 +77,7 @@ class LinkCryptNode:
         # secrets never leave the machine); the line key then hides the
         # entire message from wiretaps.
         on_wire = self.nic.fbox.transform_egress(message)
-        ciphertext = WideBlockCipher(key).encrypt(on_wire.pack())
+        ciphertext = cipher.encrypt(on_wire.pack())
         carrier = Message(dest=peer_port, command=LINK_ENCAP, data=ciphertext)
         return self.nic.put(carrier, dst_machine=dst_machine)
 
@@ -75,9 +85,9 @@ class LinkCryptNode:
         entry = self._line_keys.get(frame.src)
         if entry is None:
             return  # a carrier from a machine we share no line with
-        _, key = entry
+        _, cipher = entry
         try:
-            inner = Message.unpack(WideBlockCipher(key).decrypt(frame.message.data))
+            inner = Message.unpack(cipher.decrypt(frame.message.data))
         except Exception:
             return  # wrong key or corrupted line traffic: drop, like hardware
         # Re-inject through the normal admission path so listeners,

@@ -15,7 +15,11 @@ bootstrap protocol in :mod:`~repro.softprot.boot`.
 """
 
 from repro.core.capability import CAPABILITY_BYTES, Capability
-from repro.crypto.feistel import CAPABILITY_BLOCK_BITS, FeistelCipher, WideBlockCipher
+from repro.crypto.feistel import (
+    CAPABILITY_BLOCK_BITS,
+    feistel_for_key,
+    wide_cipher_for_key,
+)
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import InvalidCapability, SecurityError
 
@@ -90,20 +94,25 @@ class MachineKeyView:
 
 def _encrypt_capability(key, packed):
     """Encrypt one packed capability: 128-bit Feistel for the canonical
-    16-byte layout, the wide-block cipher for extended layouts."""
+    16-byte layout, the wide-block cipher for extended layouts.
+
+    Ciphers come from the per-key cache, so a matrix key's schedule (16
+    hashed round keys for the Feistel case) is built on the first frame
+    of a (source, destination) pair and reused for every later seal and
+    unseal under that key."""
     if len(packed) == CAPABILITY_BYTES:
-        return FeistelCipher(key, block_bits=CAPABILITY_BLOCK_BITS).encrypt_bytes(
-            packed
-        )
-    return WideBlockCipher(key).encrypt(packed)
+        return feistel_for_key(
+            key, block_bits=CAPABILITY_BLOCK_BITS
+        ).encrypt_bytes(packed)
+    return wide_cipher_for_key(key).encrypt(packed)
 
 
 def _decrypt_capability(key, sealed):
     if len(sealed) == CAPABILITY_BYTES:
-        return FeistelCipher(key, block_bits=CAPABILITY_BLOCK_BITS).decrypt_bytes(
-            sealed
-        )
-    return WideBlockCipher(key).decrypt(sealed)
+        return feistel_for_key(
+            key, block_bits=CAPABILITY_BLOCK_BITS
+        ).decrypt_bytes(sealed)
+    return wide_cipher_for_key(key).decrypt(sealed)
 
 
 class CapabilitySealer:

@@ -43,6 +43,29 @@ class TestPort:
         assert Port(1) < Port(2)
         assert len({Port(1), Port(1), Port(2)}) == 2
 
+    def test_to_bytes_cached_on_instance(self):
+        port = Port(0xABCDEF)
+        assert port.to_bytes() is port.to_bytes()
+
+    def test_from_wire_interns(self):
+        wire = Port(0x123456789ABC).to_bytes()
+        a = Port.from_wire(wire)
+        b = Port.from_wire(bytes(wire))
+        assert a is b  # identity, not mere equality
+        assert a.value == 0x123456789ABC
+        assert a.to_bytes() == wire
+
+    def test_null_port_is_interned(self):
+        # Hot-path identity comparisons against NULL_PORT are pointer
+        # checks: every decoded all-zero field IS the singleton.
+        assert Port.from_bytes(b"\x00" * 6) is NULL_PORT
+        assert Port.from_wire(b"\x00" * 6) is NULL_PORT
+
+    @given(port_values)
+    def test_from_wire_matches_from_bytes(self, value):
+        wire = Port(value).to_bytes()
+        assert Port.from_wire(wire) == Port.from_bytes(wire) == Port(value)
+
 
 class TestPrivatePort:
     def test_public_is_f_of_secret(self):
