@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -24,3 +24,8 @@ bench-smoke:
 ## own OS process over loopback, serial vs 16-in-flight pipelined.
 bench-udp-smoke:
 	$(PYTHON) benchmarks/bench_udp.py --smoke
+
+## Virtual-clock DES benchmark at a fixed seed: asserts deterministic
+## replay and the >= 8x pipelining amortization at the paper-era RTT.
+bench-des-smoke:
+	$(PYTHON) benchmarks/bench_des.py --smoke

@@ -32,14 +32,18 @@ SCHEMA = "bench_throughput/v1"
 
 
 def run_workloads(smoke=False):
+    from bench_des import SMOKE_OVERRIDES as DES_SMOKE_OVERRIDES
+    from bench_des import WORKLOADS as DES_WORKLOADS
     from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
     from bench_udp import SMOKE_OVERRIDES as UDP_SMOKE_OVERRIDES
     from bench_udp import WORKLOADS as UDP_WORKLOADS
 
     workloads = dict(WORKLOADS)
     workloads.update(UDP_WORKLOADS)
+    workloads.update(DES_WORKLOADS)
     overrides = dict(SMOKE_OVERRIDES)
     overrides.update(UDP_SMOKE_OVERRIDES)
+    overrides.update(DES_SMOKE_OVERRIDES)
     results = {}
     for name, workload in workloads.items():
         kwargs = overrides.get(name, {}) if smoke else {}
@@ -72,6 +76,16 @@ def _derive_ratios(results):
         if serial:
             udp_pipelined["vs_udp_serial_x"] = round(
                 udp_pipelined["trans_per_sec"] / serial, 2
+            )
+    des_pipelined = results.get("des_pipelined_16_inflight")
+    des_echo = results.get("des_echo_round_trip")
+    if des_pipelined and des_echo:
+        serial = des_echo.get("virtual_ms_per_trans")
+        if serial:
+            # Virtual-time amortization: one 2.8 ms RTT per serial trans
+            # vs one RTT per 16-deep batch (>= 8x by the acceptance bar).
+            des_pipelined["vs_des_serial_x"] = round(
+                serial / des_pipelined["virtual_ms_per_trans"], 2
             )
 
 
@@ -196,6 +210,9 @@ def main(argv=None):
     udp_pipelined = current.get("udp_pipelined_16_inflight", {})
     if "vs_udp_serial_x" in udp_pipelined:
         print("  %-24s %11.2fx" % ("vs_udp_serial_x", udp_pipelined["vs_udp_serial_x"]))
+    des_pipelined = current.get("des_pipelined_16_inflight", {})
+    if "vs_des_serial_x" in des_pipelined:
+        print("  %-24s %11.2fx" % ("vs_des_serial_x", des_pipelined["vs_des_serial_x"]))
     for name, ratio in sorted(report.get("speedup", {}).items()):
         print("  %-24s %11.2fx" % (name, ratio))
 

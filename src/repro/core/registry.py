@@ -74,6 +74,11 @@ class ObjectTable:
         self._free_numbers = []
         self._next_number = 0
         self._lock = threading.RLock()
+        # Callbacks fired after a secret dies (refresh/destroy) with
+        # (port, object number, generation) — e.g. a sealer purging its
+        # §2.4 capability caches so a revoked capability's sealed form
+        # cannot be served from cache.  Fired outside the lock.
+        self._revocation_listeners = []
 
     def __len__(self):
         return len(self._entries)
@@ -132,20 +137,41 @@ class ObjectTable:
         :class:`PermissionDenied` when the (validated) rights lack any bit
         of ``required``.  This is the single enforcement point every server
         operation funnels through.
+
+        Locking: the scheme's verify (the expensive crypto) deliberately
+        runs *outside* the lock, but the liveness bookkeeping runs back
+        *under* it — ``touches`` is a read-modify-write and ``lifetime``
+        races with :meth:`age`, so mutating them unlocked lost touches
+        and could resurrect an entry a concurrent :meth:`destroy`/sweep
+        had already removed.  If the entry changed while verify ran (a
+        racing refresh or destroy-and-recreate), the stale verdict is
+        discarded and the capability is re-validated against the live
+        secret.
         """
         with self._lock:
             entry = self._entry(capability.object)
             secret = entry.secret
-        effective = self.scheme.verify(secret, capability.rights, capability.check)
         required = Rights(required)
-        if not effective.has_all(required):
-            raise PermissionDenied(
-                "capability grants %s but operation requires %s"
-                % (bin(int(effective)), bin(int(required)))
+        while True:
+            effective = self.scheme.verify(
+                secret, capability.rights, capability.check
             )
-        entry.touches += 1
-        entry.lifetime = self.default_lifetime  # any use proves liveness
-        return entry, effective
+            if not effective.has_all(required):
+                raise PermissionDenied(
+                    "capability grants %s but operation requires %s"
+                    % (bin(int(effective)), bin(int(required)))
+                )
+            with self._lock:
+                live = self._entries.get(capability.object)
+                if live is None:
+                    raise NoSuchObject(
+                        "no object %d on this server" % capability.object
+                    )
+                if live is entry and live.secret is secret:
+                    live.touches += 1
+                    live.lifetime = self.default_lifetime  # use proves liveness
+                    return live, effective
+                entry, secret = live, live.secret  # raced; re-validate
 
     def data(self, capability, required=NO_RIGHTS):
         """Shorthand for ``lookup(...)[0].data``."""
@@ -172,6 +198,22 @@ class ObjectTable:
             check=check,
         )
 
+    def on_revocation(self, callback):
+        """Register ``callback(port, number, generation)`` to fire after a
+        secret dies — :meth:`refresh` (generation bumped) or
+        :meth:`destroy` (object gone).  This is the hook that keeps the
+        §2.4 capability caches honest: an :class:`ObjectServer` with a
+        sealer wires it to
+        :meth:`~repro.softprot.matrix.CapabilitySealer.invalidate_object`,
+        so a revoked capability's cached (sealed, source) triple cannot
+        outlive the secret it was minted under.  Callbacks run outside
+        the table lock."""
+        self._revocation_listeners.append(callback)
+
+    def _notify_revocation(self, number, generation):
+        for callback in self._revocation_listeners:
+            callback(self.port, number, generation)
+
     def refresh(self, capability, required=ALL_RIGHTS):
         """Revoke every outstanding capability for an object.
 
@@ -185,6 +227,8 @@ class ObjectTable:
             entry.secret = self.scheme.new_secret(self._rng)
             entry.generation += 1
             secret = entry.secret
+            generation = entry.generation
+        self._notify_revocation(capability.object, generation)
         rights_field, check = self.scheme.mint(secret, ALL_RIGHTS)
         return Capability(
             port=self.port,
@@ -199,7 +243,9 @@ class ObjectTable:
             entry, _ = self.lookup(capability, required)
             del self._entries[entry.number]
             self._free_numbers.append(entry.number)
-            return entry.data
+            generation = entry.generation
+        self._notify_revocation(entry.number, generation)
+        return entry.data
 
     def age(self, on_expire=None):
         """One garbage-collection sweep (Amoeba's touch-based GC).
@@ -228,6 +274,7 @@ class ObjectTable:
         for entry in expired:
             if on_expire is not None:
                 on_expire(entry)
+            self._notify_revocation(entry.number, entry.generation)
         return expired
 
     def mint_for(self, number, rights=ALL_RIGHTS):

@@ -121,13 +121,24 @@ class ServiceClient:
         return reply.capability
 
     def refresh(self, capability):
-        """STD_REFRESH: revoke all outstanding capabilities for the object."""
+        """STD_REFRESH: revoke all outstanding capabilities for the object.
+
+        The client-side half of revocation hygiene: every sealed form of
+        the now-dead capabilities is purged from this client's §2.4
+        cache, so later seals of the fresh capability cannot collide
+        with stale triples (the server purges its own caches through the
+        object table's revocation hook).
+        """
         reply = self.call(stdops.STD_REFRESH, capability=capability)
+        if self.sealer is not None:
+            self.sealer.invalidate_object(capability.port, capability.object)
         return reply.capability
 
     def destroy(self, capability):
         """STD_DESTROY: delete the object."""
         self.call(stdops.STD_DESTROY, capability=capability)
+        if self.sealer is not None:
+            self.sealer.invalidate_object(capability.port, capability.object)
 
     def touch(self, capability):
         """STD_TOUCH: validate and mark the object as recently used."""

@@ -71,10 +71,18 @@ class Locator:
             self.hits += 1
             return cached
         self.misses += 1
-        from repro.core.ports import PrivatePort  # local to avoid cycle noise
+        # Local imports to avoid cycle noise (rpc pulls in the transports).
+        from repro.core.ports import PrivatePort
+        from repro.ipc.rpc import _poll_blocking
 
         reply_private = PrivatePort.generate(self.rng)
-        self.node.listen(reply_private)
+        # Hold the wire port listen() returns; the waits below then share
+        # rpc's ``_poll_blocking`` — one feature-detected wait discipline
+        # (SocketNode blocks in wall time; a DES-mode Nic consumes
+        # *virtual* time, so an unanswered LOCATE costs exactly
+        # ``timeout`` simulated seconds before :class:`PortNotLocated`)
+        # instead of a second copy of it here.
+        wire_reply = self.node.listen(reply_private)
         try:
             probe = Message(
                 command=stdops.LOCATE,
@@ -82,21 +90,15 @@ class Locator:
                 data=port.to_bytes(),
             )
             self.node.put_broadcast(probe)
-            frame = self.node.poll(reply_private)
+            frame = self.node.poll_wire(wire_reply)
             if frame is None:
-                frame = self._blocking_poll(reply_private, timeout)
+                frame = _poll_blocking(self.node, wire_reply, timeout)
             if frame is None:
                 raise PortNotLocated("no machine answered LOCATE for %r" % port)
             self.cache[port] = frame.src
             return frame.src
         finally:
-            self.node.unlisten(reply_private)
-
-    def _blocking_poll(self, port, timeout):
-        try:
-            return self.node.poll(port, timeout=timeout)
-        except TypeError:
-            return None
+            self.node.unlisten_wire(wire_reply)
 
     def invalidate(self, port):
         """Forget a cached location (server crashed or migrated)."""

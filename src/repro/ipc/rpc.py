@@ -111,11 +111,17 @@ def trans(
         # already queued, so no clock reads are needed at all.
         frame = node.poll_wire(wire_reply)
         deadline = None
+        # The timeout budget is spent on the station's own clock: wall
+        # time for real wires, *virtual* time on a DES network (where a
+        # wall-clock deadline would be meaningless — the whole wait costs
+        # microseconds of host time).
+        clock = getattr(node, "clock", None)
+        read_clock = time.monotonic if clock is None else lambda: clock.now
         while True:
             if frame is None:
                 if deadline is None:
-                    deadline = time.monotonic() + timeout
-                remaining = deadline - time.monotonic()
+                    deadline = read_clock() + timeout
+                remaining = deadline - read_clock()
                 frame = _poll_blocking(node, wire_reply, remaining)
                 if frame is None:
                     raise RPCTimeout(
@@ -254,9 +260,13 @@ class AsyncTrans:
             return reply
         node = self.node
         if getattr(node, "supports_poll_timeout", False):
-            deadline = time.monotonic() + timeout
+            # Same clock discipline as trans(): the budget is wall time
+            # on real wires, virtual time on a DES network.
+            clock = getattr(node, "clock", None)
+            read_clock = time.monotonic if clock is None else lambda: clock.now
+            deadline = read_clock() + timeout
             while True:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - read_clock()
                 if remaining <= 0:
                     break
                 frame = node.poll_wire(self.wire_reply, timeout=remaining)

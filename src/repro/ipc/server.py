@@ -209,6 +209,16 @@ class ObjectServer:
             set(authorized_signatures) if authorized_signatures is not None else None
         )
         self.table = ObjectTable(self.scheme, self.put_port, self.rng)
+        if sealer is not None:
+            # Revocation hygiene: when a secret dies (REFRESH, DESTROY,
+            # aging) the sealer's §2.4 caches must drop that object's
+            # triples, or a replayed sealed blob keeps short-circuiting
+            # decryption with the revoked capability.
+            self.table.on_revocation(
+                lambda port, number, _generation: sealer.invalidate_object(
+                    port, number
+                )
+            )
         self._commands = {}
         self._collect_commands()
         self._running = False

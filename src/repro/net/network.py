@@ -21,7 +21,7 @@ from collections import deque
 from typing import NamedTuple, Optional
 
 from repro.net.message import Message
-from repro.net.sched import EventLoop
+from repro.net.sched import EventLoop, LatencyModel, VirtualClock, VirtualTimeLoop
 
 
 class Frame(NamedTuple):
@@ -44,7 +44,7 @@ class Frame(NamedTuple):
 class SimNetwork:
     """The shared medium connecting every NIC in one simulated system.
 
-    Two delivery disciplines share all the routing machinery:
+    Three delivery disciplines share all the routing machinery:
 
     * ``synchronous=True`` (default) — the original recursive model:
       ``send`` delivers straight into the destination's admission filter,
@@ -59,18 +59,48 @@ class SimNetwork:
       synchronous mode while all traffic still flows through real queues;
       ``auto_drain=False`` leaves pumping to the caller, which is what
       pipelined clients use to keep many transactions in flight.
+    * ``clock=VirtualClock()`` (optionally with
+      ``latency=LatencyModel(rtt_ms=2.8)``) — virtual-clock discrete-event
+      mode: ``send`` schedules the frame's *arrival instant* on a
+      :class:`~repro.net.sched.VirtualTimeLoop` and ``pump()`` delivers
+      events in arrival order, advancing simulated time.  Blocking polls
+      (``Nic.poll(timeout=...)``) consume virtual time, never wall time,
+      so 1986-era RTTs — and the latency amortization that makes
+      pipelining multiplicative — are modeled deterministically on any
+      host.  Passing only ``latency`` implies a fresh ``VirtualClock()``.
 
     ``max_queue_depth`` bounds each per-port ingress queue in deferred
     mode (0 = unbounded); overflowing frames are dropped and counted.
+    It is rejected in DES mode, where frames wait on the arrival heap
+    rather than per-port queues and nothing overflows.
     """
 
-    def __init__(self, synchronous=True, max_queue_depth=0, auto_drain=True):
+    def __init__(self, synchronous=True, max_queue_depth=0, auto_drain=True,
+                 clock=None, latency=None):
         self._nics = {}
         self._addresses = itertools.count(1)
         self._taps = []
         self._tap_owners = {}
         self._round_robin = {}
-        self._loop = None if synchronous else EventLoop(self, max_queue_depth)
+        if clock is not None or latency is not None:
+            if max_queue_depth:
+                # The DES wire has no per-port ingress queues to bound —
+                # frames live on the arrival heap until their instant.
+                # Refuse rather than silently void the documented
+                # drop-and-count contract.
+                raise ValueError(
+                    "max_queue_depth applies to the event-loop discipline "
+                    "(synchronous=False); the DES wire is unbounded"
+                )
+            self._clock = clock if clock is not None else VirtualClock()
+            self._latency = latency if latency is not None else LatencyModel()
+            self._loop = VirtualTimeLoop(self, self._clock, self._latency)
+        else:
+            self._clock = None
+            self._latency = None
+            self._loop = (
+                None if synchronous else EventLoop(self, max_queue_depth)
+            )
         self._auto_drain = auto_drain
         # Cached sorted [(address, nic), ...] for broadcast; invalidated
         # on attach/detach instead of re-sorted per LOCATE.
@@ -217,6 +247,8 @@ class SimNetwork:
             for tap in self._taps:
                 tap(frame)
         if self._loop is not None:
+            if self._clock is not None:
+                return self._send_des(frame)
             return self._send_deferred(frame)
         if dst_machine is not None:
             # Located unicast, inlined from _route: one dict hit.
@@ -287,6 +319,54 @@ class SimNetwork:
             loop.pump()
         return True
 
+    def _send_des(self, frame):
+        """DES-mode tail of :meth:`send`: pre-check admission against the
+        routing index (so the return value keeps its synchronous-mode
+        meaning — False iff nobody admits the port), then schedule the
+        frame's arrival instant on the virtual-time loop.
+
+        There is no auto-drain here: delivery *requires* simulated time
+        to pass, and only a blocking waiter (``poll(timeout=...)``) or an
+        explicit ``pump()`` may advance the clock.  A frame whose taker
+        withdraws while it is in flight is dropped at its arrival instant
+        (``dropped_dead``), like a packet addressed to a dead host.
+        """
+        if frame.dst_machine is not None:
+            nic = self._nics.get(frame.dst_machine)
+            if nic is None or frame.message.dest not in nic._sinks:
+                self.frames_dropped += 1
+                return False
+        elif frame.message.dest not in self._listeners:
+            self.frames_dropped += 1
+            return False
+        self._loop.schedule(frame)
+        return True
+
+    def _deliver_frame(self, frame):
+        """Deliver one frame *now*, re-checking admission against the live
+        filters — the dispatch arm shared by the virtual-time loop.  The
+        port-addressed case mirrors :meth:`_route` (single-listener fast
+        path, round-robin arbiter for replicated services)."""
+        dst = frame.dst_machine
+        if dst is not None:
+            nic = self._nics.get(dst)
+            return nic is not None and nic.accept(frame)
+        return self._route(frame)
+
+    def _deliver_broadcast(self, frame):
+        """Deliver one broadcast frame to every other station's handlers —
+        the arrival half of a DES-mode :meth:`broadcast`."""
+        stations = self._sorted_stations
+        if stations is None:
+            stations = self._sorted_stations = sorted(self._nics.items())
+        count = 0
+        src = frame.src
+        for addr, nic in stations:
+            if addr != src and nic.accept_broadcast(frame):
+                count += 1
+        self.frames_delivered += count
+        return count
+
     def send_bulk(self, src_nic, messages, dst_machine=None):
         """Put a batch of same-destination frames on the wire at once.
 
@@ -328,6 +408,15 @@ class SimNetwork:
         if not admitted:
             self.frames_dropped += len(frames)
             return 0
+        if self._clock is not None:
+            # DES mode: one admission verdict for the batch, one arrival
+            # instant per frame (equal delays arrive at the same instant
+            # and deliver in send order — the heap breaks ties by
+            # schedule sequence).
+            schedule = loop.schedule
+            for frame in frames:
+                schedule(frame)
+            return len(frames)
         enqueued = loop.enqueue_bulk(dest, frames)
         if enqueued != len(frames):
             self.frames_dropped += len(frames) - enqueued
@@ -342,7 +431,10 @@ class SimNetwork:
         only hoists the per-call setup.  Returns the number accepted.
         """
         loop = self._loop
-        if loop is None or self._taps:
+        if loop is None or self._taps or self._clock is not None:
+            # Synchronous, tapped, or DES delivery: per-frame send keeps
+            # the respective semantics (recursion, tap order, or one
+            # arrival instant per reply).
             accepted = 0
             for message, dst in pairs:
                 if self.send(src_nic, message, dst):
@@ -412,14 +504,23 @@ class SimNetwork:
         """Deliver a frame to every station's broadcast handler (LOCATE).
 
         Broadcast models the shared segment itself, so it is delivered
-        immediately in both delivery disciplines; replies the handlers
-        send ride the deferred queues like any other frame.
+        immediately in the synchronous and deferred disciplines; replies
+        the handlers send ride the deferred queues like any other frame.
+        Under a virtual clock the broadcast propagates like everything
+        else: one event delivers it to every station at ``now + delay``,
+        so a LOCATE costs a full virtual RTT (broadcast out, HERE back) —
+        the §4 economics the DES mode exists to model.  The return value
+        is then the number of *other* attached stations (who will all see
+        the frame at its arrival instant), not a delivery count.
         """
         frame = Frame(src=src_nic.address, dst_machine=None, message=message)
         self.frames_sent += 1
         self.broadcasts += 1
         for tap in self._taps:
             tap(frame)
+        if self._clock is not None:
+            self._loop.schedule(frame, broadcast=True)
+            return len(self._nics) - (src_nic.address in self._nics)
         stations = self._sorted_stations
         if stations is None:
             stations = self._sorted_stations = sorted(self._nics.items())
@@ -442,9 +543,23 @@ class SimNetwork:
 
     @property
     def loop(self):
-        """The :class:`~repro.net.sched.EventLoop`, or None when
+        """The :class:`~repro.net.sched.EventLoop` /
+        :class:`~repro.net.sched.VirtualTimeLoop`, or None when
         synchronous."""
         return self._loop
+
+    @property
+    def clock(self):
+        """The :class:`~repro.net.sched.VirtualClock`, or None outside
+        DES mode.  Stations read this once at attach time to decide
+        whether their blocking polls consume virtual or wall time."""
+        return self._clock
+
+    @property
+    def latency(self):
+        """The :class:`~repro.net.sched.LatencyModel`, or None outside
+        DES mode."""
+        return self._latency
 
     @property
     def pending(self):
@@ -500,12 +615,7 @@ class SimNetwork:
         self.broadcasts = 0
         loop = self._loop
         if loop is not None:
-            loop.dispatched = 0
-            loop.dropped_overflow = 0
-            loop.dropped_dead = 0
-            loop.max_depth_seen = loop.pending and max(
-                len(q) for q in loop._queues.values()
-            )
+            loop.reset_stats()
 
     def stats(self):
         """Current wire counters as a dict (stable keys for benchmarks).

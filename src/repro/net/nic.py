@@ -50,14 +50,23 @@ class Nic:
     """
 
     #: Capability attribute, checked once by the RPC layer instead of
-    #: probing with TypeError per poll: poll_wire here takes no timeout —
-    #: the simulator delivers during put()/pump(), never later.
+    #: probing with TypeError per poll.  Class default False: on the
+    #: synchronous and deferred networks poll_wire takes no timeout — the
+    #: simulator delivers during put()/pump(), never later.  Attaching to
+    #: a DES network overrides it per instance: there a timed poll
+    #: *consumes virtual time*, stepping the event heap until the frame
+    #: arrives or the virtual deadline passes.
     supports_poll_timeout = False
 
     def __init__(self, network, fbox=None):
         self.fbox = fbox or FBox()
         self.network = network
         self.address = network.attach(self)
+        #: The network's VirtualClock in DES mode, else None.  Read once
+        #: here — a network's delivery discipline is fixed at construction.
+        self.clock = getattr(network, "clock", None)
+        if self.clock is not None:
+            self.supports_poll_timeout = True
         # One sink per admitted wire port: a deque (client GET, frames
         # queue) or a callable (server GET, frames dispatch immediately).
         # A single dict keeps the admission check and delivery to one
@@ -319,24 +328,52 @@ class Nic:
     # receive side for clients
     # ------------------------------------------------------------------
 
-    def poll(self, port):
+    def poll(self, port, timeout=None):
         """Dequeue the next frame admitted for GET(port), or ``None``.
 
         ``port`` is the same value passed to :meth:`listen` (the secret),
-        not the wire port.
+        not the wire port.  ``timeout`` is meaningful only on a DES
+        network, where it is a *virtual* duration (see
+        :meth:`poll_wire`); elsewhere it is ignored — delivery happens
+        during put()/pump(), never later, so there is nothing to wait
+        for.
         """
-        return self.poll_wire(self.fbox.listen_port(as_port(port)))
+        return self.poll_wire(self.fbox.listen_port(as_port(port)), timeout)
 
     # ------------------------------------------------------------------
     # wire-port fast lane (used by trans, which holds the wire port that
     # listen() returned and need not re-derive F(secret) per operation)
     # ------------------------------------------------------------------
 
-    def poll_wire(self, wire_port):
-        """Like :meth:`poll`, keyed by the wire port listen() returned."""
+    def poll_wire(self, wire_port, timeout=None):
+        """Like :meth:`poll`, keyed by the wire port listen() returned.
+
+        On a DES network a positive ``timeout`` blocks *in virtual time*:
+        the event heap is stepped (delivering frames, advancing the
+        clock) until a frame lands on this port or the next arrival lies
+        beyond ``clock.now + timeout`` — a timed-out wait then advances
+        the clock to its deadline, so waiting costs simulated time
+        exactly as the paper's blocking GET costs real time.  Re-entrant
+        use (a server handler polling mid-delivery) is safe: nested
+        transactions simply consume their share of virtual time deeper
+        in the stack.
+        """
         sink = self._sinks.get(wire_port)
         if sink and type(sink) is deque:
             return sink.popleft()
+        clock = self.clock
+        if clock is None or timeout is None or timeout <= 0:
+            return None
+        deadline = clock.now + timeout
+        loop = self.network.loop
+        sinks = self._sinks
+        while loop.step(until=deadline):
+            # Re-resolve per event: the frame may have landed here, and a
+            # handler running inside step() may have changed the sink.
+            sink = sinks.get(wire_port)
+            if sink and type(sink) is deque:
+                return sink.popleft()
+        clock.advance_to(deadline)
         return None
 
     def unlisten_wire(self, wire_port):

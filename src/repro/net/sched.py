@@ -33,9 +33,19 @@ Semantics
   enqueue without recursing (the loop notices it is already draining).
   A handler that raises aborts the current pump with the remaining
   frames still queued; the next pump carries on.
+
+This module also hosts the third delivery discipline: the virtual-clock
+discrete-event mode (:class:`VirtualClock`, :class:`LatencyModel`,
+:class:`VirtualTimeLoop`), in which frames arrive at *scheduled
+instants* of simulated time rather than "whenever the pump runs".  That
+is what lets the simulator model 1986-era wire latencies (§4's 1.4 ms
+locate, RPC economics) deterministically on any host — see
+docs/PERFORMANCE.md §"Virtual-clock DES".
 """
 
+import random
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.net.nic import _BatchSink
 
@@ -299,8 +309,246 @@ class EventLoop:
             "max_depth_seen": self.max_depth_seen,
         }
 
+    def reset_stats(self):
+        """Zero the counters (queued frames stay queued)."""
+        self.dispatched = 0
+        self.dropped_overflow = 0
+        self.dropped_dead = 0
+        self.max_depth_seen = self.pending and max(
+            len(q) for q in self._queues.values()
+        )
+
     def __repr__(self):
         return "EventLoop(pending=%d, dispatched=%d)" % (
             self.pending,
             self.dispatched,
+        )
+
+
+# ----------------------------------------------------------------------
+# virtual-clock discrete-event simulation
+# ----------------------------------------------------------------------
+
+
+class VirtualClock:
+    """Simulated time for discrete-event delivery.
+
+    The clock only moves when an event is delivered (to that event's
+    arrival instant) or when a blocking wait times out (to the waiter's
+    deadline) — never from the host's wall clock.  That is what makes a
+    DES run deterministic: the same seed produces the same event order
+    and the same final ``now`` on any machine, at any host speed.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start=0.0):
+        #: Current simulated time, in seconds.
+        self.now = float(start)
+
+    def advance_to(self, instant):
+        """Move time forward to ``instant``; moving backwards is a no-op
+        (events are popped in arrival order, so an earlier instant means
+        the clock already passed it)."""
+        if instant > self.now:
+            self.now = instant
+
+    def advance(self, seconds):
+        """Move time forward by a duration (e.g. a timed-out wait)."""
+        if seconds > 0:
+            self.now += seconds
+
+    def __repr__(self):
+        return "VirtualClock(now=%.6f)" % self.now
+
+
+class LatencyModel:
+    """Per-link delivery delay for the DES network.
+
+    One-way delay of a frame =
+
+    * ``rtt_ms / 2`` — the propagation base (the paper's §4 numbers are
+      round-trip figures, so the model is configured in RTT terms:
+      ``LatencyModel(rtt_ms=2.8)`` reproduces the 1986 locate+RPC era);
+    * ``+ len(packed frame) / bytes_per_sec`` — serialization, when a
+      bandwidth is configured (None skips the pack entirely);
+    * ``+ uniform(0, jitter_ms)`` — drawn from a *seeded* private RNG, so
+      jitter varies per frame yet the whole run stays reproducible.
+
+    The model is per-frame: it does not model link occupancy (two frames
+    sent at the same instant both arrive one delay later, rather than
+    queueing behind each other).  That is the standard message-passing
+    model of distributed-system theory — per-link delivery delays,
+    independent frames.
+    """
+
+    __slots__ = ("rtt_ms", "one_way", "jitter", "bytes_per_sec", "_rng")
+
+    def __init__(self, rtt_ms=2.8, jitter_ms=0.0, bytes_per_sec=None, seed=0):
+        if rtt_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies cannot be negative")
+        self.rtt_ms = rtt_ms
+        self.one_way = rtt_ms / 2000.0
+        self.jitter = jitter_ms / 1000.0
+        self.bytes_per_sec = bytes_per_sec
+        self._rng = random.Random(seed)
+
+    def delay(self, frame):
+        """One-way delivery delay for ``frame``, in virtual seconds."""
+        d = self.one_way
+        if self.bytes_per_sec:
+            d += len(frame.message.pack()) / self.bytes_per_sec
+        if self.jitter:
+            d += self._rng.random() * self.jitter
+        return d
+
+    def __repr__(self):
+        return "LatencyModel(rtt_ms=%g, jitter_ms=%g)" % (
+            self.rtt_ms,
+            self.jitter * 1000.0,
+        )
+
+
+class VirtualTimeLoop:
+    """Time-ordered frame delivery for a DES :class:`SimNetwork`.
+
+    Created by ``SimNetwork(clock=VirtualClock(), latency=...)``; not
+    normally constructed directly.  ``send`` becomes a :meth:`schedule`
+    (arrival instant = ``clock.now + latency.delay(frame)``, pushed onto
+    a heap) and :meth:`pump` pops events in arrival order, advancing the
+    clock to each event's instant before delivering it.
+
+    Semantics
+    ---------
+    * **Admission is decided at schedule time** against the routing index
+      (same contract as :class:`EventLoop`), and **re-checked at
+      delivery**: a listener that withdrew its GET — or a machine that
+      detached — while the frame was "on the wire" drops it
+      (``dropped_dead``), exactly like a packet addressed to a dead host.
+    * **Ties break by schedule order.**  The heap key is
+      ``(arrival, seq)``, so two frames arriving at the same instant
+      deliver in the order they were sent — with zero jitter, per-link
+      FIFO holds; with jitter, frames may overtake each other, which is
+      the reordering a real network exhibits.
+    * **Re-entrant stepping is allowed.**  A handler that blocks in a
+      timed poll mid-delivery (a server acting as a client of another
+      server) steps the same heap from inside :meth:`pump`; the event it
+      pops was going to be delivered anyway, just deeper in the stack.
+      This is how nested transactions consume virtual time correctly.
+    """
+
+    __slots__ = (
+        "network",
+        "clock",
+        "latency",
+        "_events",
+        "_seq",
+        "scheduled",
+        "dispatched",
+        "dropped_dead",
+    )
+
+    def __init__(self, network, clock, latency):
+        self.network = network
+        self.clock = clock
+        self.latency = latency
+        # Heap of (arrival instant, schedule seq, is_broadcast, frame).
+        self._events = []
+        self._seq = 0
+        #: Frames given an arrival instant by schedule().
+        self.scheduled = 0
+        #: Events popped and handed to delivery.
+        self.dispatched = 0
+        #: Frames admitted at schedule time but undeliverable on arrival.
+        self.dropped_dead = 0
+
+    # ------------------------------------------------------------------
+    # ingress (called by SimNetwork)
+    # ------------------------------------------------------------------
+
+    def schedule(self, frame, broadcast=False):
+        """Give one frame an arrival instant; returns that instant."""
+        arrival = self.clock.now + self.latency.delay(frame)
+        self._seq += 1
+        heappush(self._events, (arrival, self._seq, broadcast, frame))
+        self.scheduled += 1
+        return arrival
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def step(self, until=None):
+        """Deliver the earliest pending event, advancing the clock to its
+        arrival instant.  Returns True if an event was delivered; False
+        when nothing is pending or the next arrival lies beyond
+        ``until`` (the clock is then left untouched — the caller owns
+        the decision to burn the remaining wait)."""
+        events = self._events
+        if not events:
+            return False
+        if until is not None and events[0][0] > until:
+            return False
+        arrival, _, broadcast, frame = heappop(events)
+        self.clock.advance_to(arrival)
+        self.dispatched += 1
+        network = self.network
+        if broadcast:
+            network._deliver_broadcast(frame)
+            return True
+        if network._deliver_frame(frame):
+            network.frames_delivered += 1
+        else:
+            self.dropped_dead += 1
+            network.frames_dropped += 1
+        return True
+
+    def pump(self, budget=None, until=None):
+        """Deliver up to ``budget`` events (all if None) whose arrival is
+        within ``until`` (unbounded if None); returns the number
+        delivered.  Events scheduled by handlers *during* the pump join
+        the heap and are delivered in arrival order like any other."""
+        delivered = 0
+        while (budget is None or delivered < budget) and self.step(until):
+            delivered += 1
+        return delivered
+
+    def run(self):
+        """Drain every pending event; returns the number delivered."""
+        return self.pump()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self):
+        """Frames currently in flight on the simulated wire."""
+        return len(self._events)
+
+    def next_arrival(self):
+        """The earliest pending arrival instant, or None when idle."""
+        return self._events[0][0] if self._events else None
+
+    def stats(self):
+        """Scheduler counters as a dict (stable keys for benchmarks)."""
+        return {
+            "pending": self.pending,
+            "scheduled": self.scheduled,
+            "dispatched": self.dispatched,
+            "dropped_dead": self.dropped_dead,
+            "virtual_now": self.clock.now,
+        }
+
+    def reset_stats(self):
+        """Zero the counters (in-flight frames stay scheduled; the clock
+        keeps its instant — time never runs backwards)."""
+        self.scheduled = 0
+        self.dispatched = 0
+        self.dropped_dead = 0
+
+    def __repr__(self):
+        return "VirtualTimeLoop(now=%.6f, pending=%d)" % (
+            self.clock.now,
+            self.pending,
         )

@@ -88,6 +88,13 @@ class SocketNode:
     #: timeout here (frames arrive from a real wire at any time).
     supports_poll_timeout = True
 
+    #: Station-API parity with :class:`~repro.net.nic.Nic`: a SocketNode
+    #: always runs on the wall clock — real datagrams take real time, so
+    #: its blocking polls consume wall seconds, never virtual ones.
+    #: Protocol code (rpc, locate) can therefore ask any station for
+    #: ``node.clock`` and treat None as "timeouts are wall time".
+    clock = None
+
     #: Capability attribute for ObjectServer.start(): recv-side batching
     #: makes batch dispatch (serve_batch + bulk reply egress) profitable
     #: on this transport.

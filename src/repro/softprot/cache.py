@@ -11,36 +11,49 @@ Both caches below are those triples, stored in bounded LRU maps with
 hit/miss counters the MATRIX experiment reports.
 """
 
+import threading
 from collections import OrderedDict
 
 
 class LruCache:
-    """A bounded least-recently-used map with hit/miss accounting."""
+    """A bounded least-recently-used map with hit/miss accounting.
+
+    Thread-safe: a server's request path reads and writes its cache from
+    worker threads while revocation (``ObjectTable.on_revocation`` →
+    :meth:`evict_where`) fires from whichever thread refreshed, destroyed,
+    or swept the object — OrderedDict relinking is not atomic, so every
+    operation takes the internal lock.  The critical sections are a few
+    dict operations; the cache exists to skip block-cipher calls, which
+    cost orders of magnitude more than an uncontended lock.
+    """
 
     def __init__(self, max_entries=1024):
         if max_entries < 1:
             raise ValueError("cache needs at least one entry")
         self.max_entries = max_entries
         self._entries = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key):
         """Return the cached value or ``None``, updating recency."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value):
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self):
         return len(self._entries)
@@ -53,8 +66,19 @@ class LruCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def evict_where(self, predicate):
+        """Remove every entry for which ``predicate(key, value)`` is true;
+        returns the number evicted.  O(entries) — the price of a rare
+        event (revocation), never of the per-message hot path."""
+        with self._lock:
+            doomed = [k for k, v in self._entries.items() if predicate(k, v)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self):
         return "LruCache(%d/%d entries, %.0f%% hits)" % (
@@ -73,6 +97,14 @@ class ClientCapabilityCache(LruCache):
     def remember(self, capability, destination, sealed):
         self.put((capability, destination), sealed)
 
+    def forget_object(self, port, number):
+        """Drop the triples of every capability for one (port, object) —
+        the client learned it was refreshed or destroyed, so the sealed
+        forms it cached are for dead secrets.  Returns the count."""
+        return self.evict_where(
+            lambda key, _value: key[0].port == port and key[0].object == number
+        )
+
 
 class ServerCapabilityCache(LruCache):
     """Server triples: (sealed bytes, source) -> unencrypted capability."""
@@ -82,3 +114,13 @@ class ServerCapabilityCache(LruCache):
 
     def remember(self, sealed, source, capability):
         self.put((sealed, source), capability)
+
+    def forget_object(self, port, number):
+        """Drop every triple whose *unsealed* capability names one
+        (port, object) — fired by the object table on refresh/destroy so
+        a replayed sealed blob of a revoked capability must go back
+        through real decryption and table validation.  Returns the
+        count."""
+        return self.evict_where(
+            lambda _key, cap: cap.port == port and cap.object == number
+        )

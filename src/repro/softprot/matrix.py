@@ -176,6 +176,31 @@ class CapabilitySealer:
         return capability
 
     # ------------------------------------------------------------------
+    # revocation hygiene
+    # ------------------------------------------------------------------
+
+    def invalidate_object(self, port, number):
+        """Purge both caches of every triple for one (port, object).
+
+        Called when the object's secret dies (``ObjectTable.refresh``
+        bumps the generation; ``destroy``/aging remove it).  Without
+        this, a cached (sealed, source) triple keeps translating the
+        *revoked* capability's sealed form back to a structurally valid
+        plaintext long after the secret it was minted under is gone —
+        the cache must not outlive the revocation it exists to
+        accelerate.  Servers get this wired automatically
+        (``ObjectTable.on_revocation``); clients call it from the spots
+        that learn about revocation (e.g. ``ServiceClient.refresh``).
+        Returns the number of entries dropped.
+        """
+        dropped = 0
+        if self.client_cache is not None:
+            dropped += self.client_cache.forget_object(port, number)
+        if self.server_cache is not None:
+            dropped += self.server_cache.forget_object(port, number)
+        return dropped
+
+    # ------------------------------------------------------------------
     # whole messages
     # ------------------------------------------------------------------
 

@@ -98,3 +98,43 @@ class TestCapabilityCaches:
         cache.remember(cap(1), 8, b"for-8")
         assert cache.lookup(cap(1), 7) == b"for-7"
         assert cache.lookup(cap(1), 8) == b"for-8"
+
+
+class TestConcurrency:
+    def test_evictions_race_request_path_safely(self):
+        """Regression: revocation (evict_where) fires from the table's
+        calling thread while the request path keeps hitting get/put on
+        the same cache — the OrderedDict must be locked, or eviction
+        iterates a dict another thread is resizing."""
+        import threading
+
+        cache = ServerCapabilityCache(max_entries=256)
+        stop = threading.Event()
+        errors = []
+
+        def requester():
+            i = 0
+            try:
+                while not stop.is_set():
+                    i = (i + 1) % 200
+                    cache.remember(b"sealed-%d" % i, 3, cap(i % 250))
+                    cache.lookup(b"sealed-%d" % i, 3)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def revoker():
+            try:
+                for n in range(2000):
+                    cache.forget_object(Port(1), n % 250)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        req = threading.Thread(target=requester)
+        rev = threading.Thread(target=revoker)
+        req.start()
+        rev.start()
+        rev.join(timeout=30.0)
+        stop.set()
+        req.join(timeout=30.0)
+        assert not errors
+        assert not rev.is_alive() and not req.is_alive()

@@ -74,6 +74,141 @@ class TestLocate:
         sender.put_broadcast(Message(command=999, data=b"noise"))
 
 
+class TestCacheStaleness:
+    """A located (port, machine) pair is a *cache*, not a lease: the
+    server can migrate and the cached machine go dark.  Clients observe
+    the failure, ``invalidate()``, and re-locate — under both the real
+    and the virtual clock."""
+
+    def _migration_world(self, net):
+        """Server on machine A; returns (old_nic, wire, locator)."""
+        old_nic = Nic(net)
+        install_locate_responder(old_nic)
+        wire = old_nic.listen(PrivatePort(4321))
+        client_nic = Nic(net)
+        locator = Locator(client_nic, rng=RandomSource(seed=21))
+        return old_nic, wire, locator
+
+    def _migrate(self, net, old_nic, wire):
+        """Move the service to a fresh machine; the old one detaches."""
+        net.detach(old_nic.address)
+        new_nic = Nic(net)
+        install_locate_responder(new_nic)
+        new_nic.listen(PrivatePort(4321))
+        return new_nic
+
+    def test_stale_cache_then_invalidate_and_relocate(self):
+        net = SimNetwork()
+        old_nic, wire, locator = self._migration_world(net)
+        assert locator.locate(wire) == old_nic.address
+        new_nic = self._migrate(net, old_nic, wire)
+        # The cache still answers with the dark machine — a hit, no wire
+        # traffic, and no way for the locator to know better yet.
+        stale = locator.locate(wire)
+        assert stale == old_nic.address
+        assert locator.hits == 1 and locator.misses == 1
+        # The client observed the timeout/failure; invalidate + re-locate
+        # must broadcast again and find the new home.
+        locator.invalidate(wire)
+        assert locator.locate(wire) == new_nic.address
+        assert locator.hits == 1 and locator.misses == 2
+
+    def test_unicast_to_stale_machine_fails_then_recovers(self):
+        from repro.errors import RPCTimeout
+        from repro.ipc.rpc import trans
+        from repro.net.message import Message
+
+        net = SimNetwork()
+        old_nic, wire, locator = self._migration_world(net)
+        machine = locator.locate(wire)
+        new_nic = self._migrate(net, old_nic, wire)
+        new_nic.serve(
+            PrivatePort(4321), lambda f: new_nic.put(f.message.reply_to())
+        )
+        client_nic = locator.node
+        # Unicast to the cached-but-dark machine: nothing answers.
+        with pytest.raises(RPCTimeout):
+            trans(
+                client_nic,
+                wire,
+                Message(),
+                RandomSource(seed=22),
+                dst_machine=machine,
+                timeout=0.05,
+            )
+        locator.invalidate(wire)
+        reply = trans(
+            client_nic,
+            wire,
+            Message(),
+            RandomSource(seed=23),
+            dst_machine=locator.locate(wire),
+        )
+        assert reply.is_reply
+
+    def test_stale_cache_under_virtual_clock(self):
+        from repro.net.sched import LatencyModel, VirtualClock
+
+        net = SimNetwork(
+            clock=VirtualClock(), latency=LatencyModel(rtt_ms=2.8)
+        )
+        old_nic, wire, locator = self._migration_world(net)
+        assert locator.locate(wire) == old_nic.address
+        new_nic = self._migrate(net, old_nic, wire)
+        locator.invalidate(wire)
+        start = net.clock.now
+        assert locator.locate(wire) == new_nic.address
+        # The re-locate costs one full virtual RTT, like any LOCATE.
+        assert net.clock.now - start == pytest.approx(0.0028)
+        assert locator.hits == 0 and locator.misses == 2
+
+    def test_timeout_consumes_real_time_on_sockets_shape(self):
+        """PortNotLocated on a station whose poll blocks in wall time:
+        the synchronous simulator pumps-and-returns, so the timeout path
+        is immediate (no sleep), but the error still raises."""
+        net = SimNetwork()
+        Nic(net)
+        client_nic = Nic(net)
+        locator = Locator(client_nic, rng=RandomSource(seed=24))
+        with pytest.raises(PortNotLocated):
+            locator.locate(Port(0xF00D), timeout=0.01)
+
+    def test_timeout_consumes_virtual_time_on_des(self):
+        from repro.net.sched import LatencyModel, VirtualClock
+
+        net = SimNetwork(
+            clock=VirtualClock(), latency=LatencyModel(rtt_ms=2.8)
+        )
+        Nic(net)
+        client_nic = Nic(net)
+        locator = Locator(client_nic, rng=RandomSource(seed=25))
+        start = net.clock.now
+        with pytest.raises(PortNotLocated):
+            locator.locate(Port(0xF00D), timeout=0.75)
+        assert net.clock.now - start == pytest.approx(0.75)
+
+
+class TestBlockingPollFeatureDetection:
+    """Regression for the TypeError-swallowing probe: a station whose
+    delivery path raises TypeError must propagate it, not dissolve it
+    into a bogus PortNotLocated."""
+
+    def test_delivery_typeerror_propagates(self):
+        net = SimNetwork()
+        client_nic = Nic(net)
+        locator = Locator(client_nic, rng=RandomSource(seed=26))
+
+        def poisoned_poll_wire(wire_port, timeout=None):
+            if timeout is not None:
+                raise TypeError("genuine bug inside delivery")
+            return None  # fast path: nothing queued yet
+
+        client_nic.poll_wire = poisoned_poll_wire
+        client_nic.supports_poll_timeout = True
+        with pytest.raises(TypeError, match="genuine bug"):
+            locator.locate(Port(0xF00D), timeout=0.1)
+
+
 class TestLocatedUnicast:
     def test_located_rpc_is_unicast(self, world):
         from repro.ipc.rpc import trans

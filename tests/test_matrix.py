@@ -164,6 +164,135 @@ class TestCaches:
         assert sealer.seal(cap, dst=2) != sealer.seal(cap, dst=3)
         assert sealer.cipher_ops == 2
 
+    def test_invalidate_object_purges_both_caches(self):
+        matrix = KeyMatrix(rng=RandomSource(seed=3))
+        client = CapabilitySealer(
+            matrix.view(1), client_cache=ClientCapabilityCache()
+        )
+        server = CapabilitySealer(
+            matrix.view(2), server_cache=ServerCapabilityCache()
+        )
+        cap = make_cap()
+        other = Capability(
+            port=Port(42), object=8, rights=Rights(0x0F), check=b"\x22" * 6
+        )
+        sealed = client.seal(cap, dst=2)
+        client.seal(other, dst=2)
+        server.unseal(sealed, src=1)
+        assert client.invalidate_object(cap.port, cap.object) == 1
+        assert server.invalidate_object(cap.port, cap.object) == 1
+        # The revoked object's triples are gone; unrelated ones remain.
+        assert len(client.client_cache) == 1
+        assert len(server.server_cache) == 0
+        # Re-sealing and re-unsealing must hit the cipher again.
+        ops = client.cipher_ops
+        client.seal(cap, dst=2)
+        assert client.cipher_ops == ops + 1
+
+
+class TestRevokeThenReplay:
+    """Regression: cached (sealed, source) triples must not survive
+    ``ObjectTable.refresh`` — the cache exists to *accelerate* the §2.4
+    mechanism, never to outlive a revocation."""
+
+    def test_table_refresh_purges_server_cache(self):
+        from repro.core.registry import ObjectTable
+        from repro.core.schemes import XorOneWayScheme
+
+        matrix = KeyMatrix(rng=RandomSource(seed=11))
+        client = CapabilitySealer(
+            matrix.view(1), client_cache=ClientCapabilityCache()
+        )
+        server = CapabilitySealer(
+            matrix.view(2), server_cache=ServerCapabilityCache()
+        )
+        table = ObjectTable(
+            XorOneWayScheme(), Port(42), rng=RandomSource(seed=12)
+        )
+        # Mirror ObjectServer's wiring: the table announces dead secrets.
+        table.on_revocation(
+            lambda port, number, _gen: server.invalidate_object(port, number)
+        )
+        cap = table.create("precious")
+        sealed = client.seal(cap, dst=2)
+        assert server.unseal(sealed, src=1) == cap  # now cached
+        table.refresh(cap)
+        # The replayed blob must not short-circuit through the cache …
+        assert server.server_cache.lookup(sealed, 1) is None
+        ops = server.cipher_ops
+        replayed = server.unseal(sealed, src=1)
+        assert server.cipher_ops == ops + 1  # went through real decryption
+        # … and the table rejects what it decrypts to.
+        with pytest.raises(InvalidCapability):
+            table.lookup(replayed)
+
+    def test_table_destroy_and_age_purge_server_cache(self):
+        from repro.core.registry import ObjectTable
+        from repro.core.schemes import XorOneWayScheme
+
+        matrix = KeyMatrix(rng=RandomSource(seed=13))
+        client = CapabilitySealer(matrix.view(1))
+        server = CapabilitySealer(
+            matrix.view(2), server_cache=ServerCapabilityCache()
+        )
+        table = ObjectTable(
+            XorOneWayScheme(),
+            Port(42),
+            rng=RandomSource(seed=14),
+            default_lifetime=1,
+        )
+        table.on_revocation(
+            lambda port, number, _gen: server.invalidate_object(port, number)
+        )
+        doomed = table.create("destroyed")
+        aged = table.create("aged out")
+        for cap in (doomed, aged):
+            server.unseal(client.seal(cap, dst=2), src=1)
+        assert len(server.server_cache) == 2
+        table.destroy(doomed)
+        assert len(server.server_cache) == 1
+        table.age()  # first sweep expires "aged out" (lifetime=1)
+        assert len(server.server_cache) == 0
+
+    def test_service_client_refresh_purges_client_cache(self, sealed_world):
+        _, server, client, _ = sealed_world
+        cap = server.table.create("revocable")
+        client.info(cap)  # seals the capability -> client cache entry
+        cache = client.sealer.client_cache
+        assert cache.lookup(cap, server.node.address) is not None
+        fresh = client.refresh(cap)
+        assert cache.lookup(cap, server.node.address) is None
+        # The stale capability is dead end to end; the fresh one works.
+        with pytest.raises(InvalidCapability):
+            client.info(cap)
+        assert "object" in client.info(fresh)
+
+    def test_server_cache_purged_end_to_end(self, sealed_world):
+        """The full replay: client uses a capability (server caches its
+        sealed form), the owner refreshes, the identical sealed blob is
+        replayed — the server must reject it."""
+        net, server, client, intruder = sealed_world
+        cap = server.table.create("loot")
+        intruder.start_capture()
+        client.info(cap)
+        sealed_requests = [
+            f
+            for f in intruder.captured_requests()
+            if f.message.sealed_caps and f.message.command == STD_INFO
+        ]
+        assert sealed_requests
+        client.refresh(cap)
+        # Replay the captured sealed request from the *original* client
+        # machine (the strongest replay: the matrix key is right, only
+        # the secret has died).
+        frame = sealed_requests[0]
+        reply_private = Port(0x00BEEF00)
+        client.node.listen(reply_private)
+        replay = frame.message.copy(reply=reply_private)
+        client.node.put(replay, dst_machine=server.node.address)
+        got = client.node.poll(reply_private)
+        assert got is not None and got.message.status != 0
+
 
 @pytest.fixture
 def sealed_world():

@@ -198,6 +198,109 @@ class TestCapacityAndConcurrency:
         assert not errors
         assert len(set(numbers)) == 200
 
+    def test_concurrent_lookups_lose_no_touches(self, table):
+        """Regression: lookup() used to bump ``touches`` *after* releasing
+        the table lock, so concurrent lookups lost read-modify-write
+        updates.  With the bookkeeping back under the lock the count is
+        exact."""
+        cap = table.create("hot")
+        per_thread = 500
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(per_thread):
+                    table.lookup(cap)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        entry, _ = table.lookup(cap)
+        assert entry.touches == per_thread * n_threads + 1
+
+    def test_lookup_straddling_destroy_does_not_resurrect(self):
+        """Regression: a lookup whose verify straddles a concurrent
+        destroy must not touch the removed entry back to life (or crash);
+        it reports NoSuchObject like any later lookup would."""
+        scheme = scheme_by_name("xor-oneway")
+        gate = threading.Event()
+        entered = threading.Event()
+
+        class GatedScheme(type(scheme)):
+            def verify(self, secret, rights, check):
+                entered.set()
+                gate.wait(timeout=5.0)
+                return super().verify(secret, rights, check)
+
+        table = ObjectTable(GatedScheme(), PORT, rng=RandomSource(seed=45))
+        cap = table.create("doomed")
+        results = []
+
+        def reader():
+            try:
+                results.append(table.lookup(cap))
+            except NoSuchObject:
+                results.append("gone")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        # destroy() validates the capability itself, so it must not block
+        # on the reader's gate: open it for everyone, then destroy.
+        gate.set()
+        table.destroy(cap)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        # Whatever the reader observed (a validated entry just before the
+        # destroy, or NoSuchObject just after), the object stays dead.
+        assert cap.object not in table
+        with pytest.raises(NoSuchObject):
+            table.lookup(cap)
+
+    def test_lookup_straddling_refresh_revalidates(self):
+        """A lookup that validated against a secret which died mid-flight
+        (a racing refresh) must re-validate and reject the now-revoked
+        capability, never bless it with the stale verdict."""
+        scheme = scheme_by_name("xor-oneway")
+        gate = threading.Event()
+        entered = threading.Event()
+        first_verify = threading.Event()
+
+        class GatedScheme(type(scheme)):
+            def verify(self, secret, rights, check):
+                if not first_verify.is_set():
+                    first_verify.set()
+                    entered.set()
+                    gate.wait(timeout=5.0)
+                return super().verify(secret, rights, check)
+
+        table = ObjectTable(GatedScheme(), PORT, rng=RandomSource(seed=46))
+        cap = table.create("refreshed")
+        outcome = []
+
+        def reader():
+            try:
+                outcome.append(table.lookup(cap)[0])
+            except InvalidCapability:
+                outcome.append("revoked")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        table.refresh(cap)  # second verify call: gate already recorded
+        gate.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome == ["revoked"]
+
 
 class TestSchemeIntegration:
     @pytest.mark.parametrize("name", ["simple", "encrypted", "xor-oneway", "commutative"])
