@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -29,3 +29,8 @@ bench-udp-smoke:
 ## replay and the >= 8x pipelining amortization at the paper-era RTT.
 bench-des-smoke:
 	$(PYTHON) benchmarks/bench_des.py --smoke
+
+## Sharded-data-plane benchmark: contended 8-thread lookups plus the
+## queue-overload flood; asserts the drop-and-count and recovery bars.
+bench-shard-smoke:
+	$(PYTHON) benchmarks/bench_shard.py --smoke

@@ -34,6 +34,8 @@ SCHEMA = "bench_throughput/v1"
 def run_workloads(smoke=False):
     from bench_des import SMOKE_OVERRIDES as DES_SMOKE_OVERRIDES
     from bench_des import WORKLOADS as DES_WORKLOADS
+    from bench_shard import SMOKE_OVERRIDES as SHARD_SMOKE_OVERRIDES
+    from bench_shard import WORKLOADS as SHARD_WORKLOADS
     from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
     from bench_udp import SMOKE_OVERRIDES as UDP_SMOKE_OVERRIDES
     from bench_udp import WORKLOADS as UDP_WORKLOADS
@@ -41,9 +43,11 @@ def run_workloads(smoke=False):
     workloads = dict(WORKLOADS)
     workloads.update(UDP_WORKLOADS)
     workloads.update(DES_WORKLOADS)
+    workloads.update(SHARD_WORKLOADS)
     overrides = dict(SMOKE_OVERRIDES)
     overrides.update(UDP_SMOKE_OVERRIDES)
     overrides.update(DES_SMOKE_OVERRIDES)
+    overrides.update(SHARD_SMOKE_OVERRIDES)
     results = {}
     for name, workload in workloads.items():
         kwargs = overrides.get(name, {}) if smoke else {}
@@ -122,6 +126,14 @@ def speedups(current, baseline):
         ratios["routing_50_machines_x"] = round(
             current["routing_50_machines"]["frames_per_sec"]
             / baseline["routing_50_machines"]["frames_per_sec"],
+            2,
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    try:
+        ratios["contended_lookup_8t_x"] = round(
+            current["contended_lookup_8t"]["lookups_per_sec"]
+            / baseline["contended_lookup_8t"]["lookups_per_sec"],
             2,
         )
     except (KeyError, ZeroDivisionError):
@@ -213,6 +225,22 @@ def main(argv=None):
     des_pipelined = current.get("des_pipelined_16_inflight", {})
     if "vs_des_serial_x" in des_pipelined:
         print("  %-24s %11.2fx" % ("vs_des_serial_x", des_pipelined["vs_des_serial_x"]))
+    contended = current.get("contended_lookup_8t", {})
+    if "lookups_per_sec" in contended:
+        print(
+            "  %-24s %12.0f /sec"
+            % ("contended_lookup_8t", contended["lookups_per_sec"])
+        )
+    flood = current.get("flood_drop_vs_backpressure", {})
+    if "dropped_overflow" in flood:
+        print(
+            "  %-24s %5d dropped, recovery %.2fx"
+            % (
+                "flood_drop_vs_backpr.",
+                flood["dropped_overflow"],
+                flood["post_flood_ratio"],
+            )
+        )
     for name, ratio in sorted(report.get("speedup", {}).items()):
         print("  %-24s %11.2fx" % (name, ratio))
 

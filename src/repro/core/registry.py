@@ -8,15 +8,49 @@ central capability manager exists anywhere in the system (§2.3).
 Revocation works exactly as the paper describes: "ask the server to change
 the random number stored in its internal table and return a new
 capability"; every outstanding capability for the object dies instantly.
+
+Sharding
+--------
+The table is partitioned into a power-of-two number of lock-striped
+shards, keyed by object number (``shard = number & (shards - 1)``).  The
+paper's design is embarrassingly parallel — each request names exactly
+one object and touches exactly one row — so every per-object operation
+(:meth:`lookup`, :meth:`refresh`, :meth:`destroy`, :meth:`restrict`,
+:meth:`mint_for`) acquires exactly one stripe, and :meth:`create` draws
+from per-shard allocation counters (object numbers congruent to the
+shard index mod the shard count), so no operation ever takes a global
+lock.  Cross-shard operations (:meth:`age`, :meth:`numbers`) sweep
+stripe by stripe instead of stopping the world.
+
+Each entry additionally memoizes its verified (rights, check) pairs —
+the server-side half of §2.4's "hashed cache of capabilities that they
+have been using frequently": a repeat lookup of an already-validated
+capability costs one stripe acquisition and two dict probes instead of a
+one-way-function evaluation.  The memo can never outlive the secret it
+was computed from: :meth:`refresh` clears it under the same stripe that
+replaces the secret, and :meth:`destroy`/:meth:`age` drop the entry
+(memo and all) outright.
 """
 
+import itertools
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.capability import OBJECT_BITS, Capability
 from repro.core.rights import ALL_RIGHTS, NO_RIGHTS, Rights
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import NoSuchObject, PermissionDenied
+
+#: Default stripe count: enough that 8–16 worker threads rarely collide
+#: on a stripe, small enough that a full sweep is still cheap.
+DEFAULT_SHARDS = 16
+
+#: Bound on each entry's verified-pair memo.  An object realistically
+#: circulates as its owner capability plus a handful of restricted
+#: forms; the bound only matters against an adversary minting garbage,
+#: and garbage never verifies, so it never enters the memo at all.
+VERIFIED_MEMO_MAX = 16
 
 
 @dataclass
@@ -33,10 +67,45 @@ class ObjectEntry:
     #: Sweeps left before the object is garbage (None = never collected).
     #: Every successful lookup (STD_TOUCH included) resets it.
     lifetime: object = None
+    #: Verified (rights, check) -> effective Rights memo for the *current*
+    #: secret (§2.4 server-side capability cache).  Mutated only under the
+    #: owning shard's stripe; cleared whenever the secret is replaced.
+    verified: dict = field(default_factory=dict, repr=False)
+
+
+class _Shard:
+    """One stripe: a lock, its entries, and its slice of the number space.
+
+    Shard ``k`` of ``n`` owns every object number congruent to ``k``
+    (mod ``n``); ``fresh_number``/``step`` walk that residue class so
+    allocation needs no coordination with other shards.
+    """
+
+    __slots__ = ("index", "lock", "entries", "free_numbers", "fresh_number", "step")
+
+    def __init__(self, index, step):
+        self.index = index
+        # RLock: refresh/destroy validate (lookup) and mutate under one
+        # acquisition, exactly as the monolithic table did globally.
+        self.lock = threading.RLock()
+        self.entries = {}
+        self.free_numbers = []
+        self.fresh_number = index
+        self.step = step
+
+    def allocate_fresh(self, max_objects):
+        """Next never-used number in this stripe's residue class, or None
+        when the stripe's slice of ``max_objects`` is exhausted.  Caller
+        holds the stripe."""
+        number = self.fresh_number
+        if number >= max_objects:
+            return None
+        self.fresh_number = number + self.step
+        return number
 
 
 class ObjectTable:
-    """Thread-safe object table bound to one scheme and one server port.
+    """Lock-striped, thread-safe object table bound to one scheme and port.
 
     Parameters
     ----------
@@ -47,6 +116,10 @@ class ObjectTable:
         The server's public put-port, stamped into every minted capability.
     rng:
         Randomness source for object secrets (seedable for tests).
+    max_objects:
+        Capacity bound across all shards (the 24-bit space by default).
+    shards:
+        Power-of-two stripe count.  1 reproduces the monolithic table.
     """
 
     def __init__(
@@ -56,11 +129,14 @@ class ObjectTable:
         rng=None,
         max_objects=1 << OBJECT_BITS,
         default_lifetime=None,
+        shards=DEFAULT_SHARDS,
     ):
         if max_objects < 1 or max_objects > (1 << OBJECT_BITS):
             raise ValueError("max_objects must be in [1, 2**24]")
         if default_lifetime is not None and default_lifetime < 1:
             raise ValueError("default_lifetime must be >= 1 sweeps")
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError("shards must be a power of two >= 1")
         self.scheme = scheme
         self.port = port
         self._rng = rng or RandomSource()
@@ -70,62 +146,135 @@ class ObjectTable:
         #: keep no record of capability holders cannot refcount, so
         #: objects not touched for N sweeps are presumed garbage.
         self.default_lifetime = default_lifetime
-        self._entries = {}
-        self._free_numbers = []
-        self._next_number = 0
-        self._lock = threading.RLock()
-        # Callbacks fired after a secret dies (refresh/destroy) with
-        # (port, object number, generation) — e.g. a sealer purging its
-        # §2.4 capability caches so a revoked capability's sealed form
-        # cannot be served from cache.  Fired outside the lock.
+        self._shards = [_Shard(i, shards) for i in range(shards)]
+        self._mask = shards - 1
+        # Round-robin cursor for fresh allocation (itertools.count is a
+        # single C call, atomic under concurrent create()s) and a queue
+        # of shard-index hints, one per freed number, so create() reuses
+        # recycled numbers first — preserving the monolithic table's
+        # allocate-from-the-free-list-before-minting behavior — without
+        # any cross-shard lock.
+        self._fresh_cursor = itertools.count()
+        self._recycle_hints = deque()
+        # Callbacks fired after a secret dies (refresh/destroy/age) with
+        # (port, object number, generation, shard index) — e.g. a sealer
+        # purging its §2.4 capability caches so a revoked capability's
+        # sealed form cannot be served from cache.  Fired outside every
+        # stripe lock; the shard index identifies the stripe that owned
+        # the object, so sharded caches can target their sweep.
         self._revocation_listeners = []
 
+    # ------------------------------------------------------------------
+    # shard topology
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self):
+        return len(self._shards)
+
+    def shard_of(self, number):
+        """The stripe index owning ``number`` (``number & (shards-1)``)."""
+        return number & self._mask
+
+    def shard_sizes(self):
+        """Per-shard entry counts (a racy snapshot; for experiments)."""
+        return [len(shard.entries) for shard in self._shards]
+
     def __len__(self):
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
 
     def __contains__(self, number):
-        return number in self._entries
+        return number in self._shards[number & self._mask].entries
 
     def numbers(self):
-        """Snapshot of the allocated object numbers."""
-        with self._lock:
-            return sorted(self._entries)
+        """Snapshot of the allocated object numbers.
 
-    def _allocate_number(self):
-        if self._free_numbers:
-            return self._free_numbers.pop()
-        if self._next_number >= self._max_objects:
-            raise NoSuchObject(
-                "object table full (%d objects)" % self._max_objects
-            )
-        number = self._next_number
-        self._next_number += 1
-        return number
+        Stripe-by-stripe: each shard is locked just long enough to copy
+        its key view; no instant exists at which the whole table is
+        locked."""
+        collected = []
+        for shard in self._shards:
+            with shard.lock:
+                collected.extend(shard.entries)
+        return sorted(collected)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _allocate(self):
+        """Reserve an object number; returns ``(shard, number)``.
+
+        Recycled numbers win over fresh ones (each freed number leaves a
+        shard-index hint in ``_recycle_hints``); fresh allocation round-
+        robins across stripes so concurrent creators land on different
+        locks.  Only when every stripe's slice is exhausted — and a last
+        free-list scan finds nothing a racing destroy gave back — is the
+        table full.
+        """
+        hints = self._recycle_hints
+        while True:
+            try:
+                index = hints.popleft()
+            except IndexError:
+                break
+            shard = self._shards[index]
+            with shard.lock:
+                if shard.free_numbers:
+                    return shard, shard.free_numbers.pop()
+            # Stale hint (a racing create claimed the number); keep going.
+        shards = self._shards
+        count = len(shards)
+        start = next(self._fresh_cursor)
+        for i in range(count):
+            shard = shards[(start + i) & self._mask]
+            with shard.lock:
+                number = shard.allocate_fresh(self._max_objects)
+                if number is not None:
+                    return shard, number
+        for shard in shards:
+            with shard.lock:
+                if shard.free_numbers:
+                    return shard, shard.free_numbers.pop()
+        raise NoSuchObject(
+            "object table full (%d objects)" % self._max_objects
+        )
 
     def create(self, data, rights=ALL_RIGHTS):
         """Create an object and mint its first capability.
 
         The returned capability is the object's *owner* capability; the
         paper's servers always mint with all rights and let callers derive
-        weaker ones.
+        weaker ones.  No global lock: the number is reserved under one
+        stripe, the secret is drawn outside any lock, and the row is
+        installed under the same stripe.
         """
-        with self._lock:
-            number = self._allocate_number()
-            secret = self.scheme.new_secret(self._rng)
-            self._entries[number] = ObjectEntry(
-                number=number,
-                secret=secret,
-                data=data,
-                lifetime=self.default_lifetime,
-            )
+        shard, number = self._allocate()
+        secret = self.scheme.new_secret(self._rng)
+        entry = ObjectEntry(
+            number=number,
+            secret=secret,
+            data=data,
+            lifetime=self.default_lifetime,
+        )
+        with shard.lock:
+            shard.entries[number] = entry
         rights_field, check = self.scheme.mint(secret, Rights(rights))
         return Capability(
             port=self.port, object=number, rights=rights_field, check=check
         )
 
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
     def _entry(self, number):
+        """The live row for ``number`` (no validation — server internals
+        like the bank's conservation sum reach for rows they already
+        know exist).  One shard dict probe, no lock: CPython dict reads
+        are atomic against the stripe-locked writers."""
         try:
-            return self._entries[number]
+            return self._shards[number & self._mask].entries[number]
         except KeyError:
             raise NoSuchObject("no object %d on this server" % number) from None
 
@@ -138,8 +287,12 @@ class ObjectTable:
         of ``required``.  This is the single enforcement point every server
         operation funnels through.
 
-        Locking: the scheme's verify (the expensive crypto) deliberately
-        runs *outside* the lock, but the liveness bookkeeping runs back
+        Locking: exactly one stripe — the one owning the object number —
+        is ever acquired.  A (rights, check) pair already proven against
+        the *live* secret hits the entry's verified memo and returns
+        under a single acquisition with no crypto at all.  On a miss the
+        scheme's verify (the expensive one-way function) deliberately
+        runs *outside* the stripe, and the liveness bookkeeping runs back
         *under* it — ``touches`` is a read-modify-write and ``lifetime``
         races with :meth:`age`, so mutating them unlocked lost touches
         and could resurrect an entry a concurrent :meth:`destroy`/sweep
@@ -148,10 +301,28 @@ class ObjectTable:
         discarded and the capability is re-validated against the live
         secret.
         """
-        with self._lock:
-            entry = self._entry(capability.object)
+        number = capability.object
+        shard = self._shards[number & self._mask]
+        if type(required) is not Rights:
+            required = Rights(required)
+        memo_key = (capability.rights, capability.check)
+        with shard.lock:
+            entry = shard.entries.get(number)
+            if entry is None:
+                raise NoSuchObject(
+                    "no object %d on this server" % number
+                )
+            effective = entry.verified.get(memo_key)
+            if effective is not None:
+                if not effective.has_all(required):
+                    raise PermissionDenied(
+                        "capability grants %s but operation requires %s"
+                        % (bin(int(effective)), bin(int(required)))
+                    )
+                entry.touches += 1
+                entry.lifetime = self.default_lifetime
+                return entry, effective
             secret = entry.secret
-        required = Rights(required)
         while True:
             effective = self.scheme.verify(
                 secret, capability.rights, capability.check
@@ -161,15 +332,21 @@ class ObjectTable:
                     "capability grants %s but operation requires %s"
                     % (bin(int(effective)), bin(int(required)))
                 )
-            with self._lock:
-                live = self._entries.get(capability.object)
+            with shard.lock:
+                live = shard.entries.get(number)
                 if live is None:
                     raise NoSuchObject(
-                        "no object %d on this server" % capability.object
+                        "no object %d on this server" % number
                     )
                 if live is entry and live.secret is secret:
                     live.touches += 1
                     live.lifetime = self.default_lifetime  # use proves liveness
+                    memo = live.verified
+                    if len(memo) >= VERIFIED_MEMO_MAX:
+                        # Drop the oldest proven pair; it re-verifies on
+                        # its next use.
+                        memo.pop(next(iter(memo)))
+                    memo[memo_key] = effective
                     return live, effective
                 entry, secret = live, live.secret  # raced; re-validate
 
@@ -185,34 +362,44 @@ class ObjectTable:
         with a bit mask and a request to fabricate a new capability with
         fewer rights."
         """
-        with self._lock:
-            entry = self._entry(capability.object)
+        number = capability.object
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            entry = shard.entries.get(number)
+            if entry is None:
+                raise NoSuchObject("no object %d on this server" % number)
             secret = entry.secret
         rights_field, check = self.scheme.restrict(
             secret, capability.rights, capability.check, Rights(keep_mask)
         )
         return Capability(
             port=self.port,
-            object=capability.object,
+            object=number,
             rights=rights_field,
             check=check,
         )
 
+    # ------------------------------------------------------------------
+    # revocation
+    # ------------------------------------------------------------------
+
     def on_revocation(self, callback):
-        """Register ``callback(port, number, generation)`` to fire after a
-        secret dies — :meth:`refresh` (generation bumped) or
-        :meth:`destroy` (object gone).  This is the hook that keeps the
-        §2.4 capability caches honest: an :class:`ObjectServer` with a
-        sealer wires it to
+        """Register ``callback(port, number, generation, shard)`` to fire
+        after a secret dies — :meth:`refresh` (generation bumped),
+        :meth:`destroy` (object gone), or an :meth:`age` expiry.  This is
+        the hook that keeps the §2.4 capability caches honest: an
+        :class:`ObjectServer` with a sealer wires it to
         :meth:`~repro.softprot.matrix.CapabilitySealer.invalidate_object`,
         so a revoked capability's cached (sealed, source) triple cannot
-        outlive the secret it was minted under.  Callbacks run outside
-        the table lock."""
+        outlive the secret it was minted under.  ``shard`` is the stripe
+        index that owned the object (``shard_of(number)``), so sharded
+        caches can target the owning partition instead of sweeping.
+        Callbacks run outside every stripe lock."""
         self._revocation_listeners.append(callback)
 
-    def _notify_revocation(self, number, generation):
+    def _notify_revocation(self, number, generation, shard_index):
         for callback in self._revocation_listeners:
-            callback(self.port, number, generation)
+            callback(self.port, number, generation, shard_index)
 
     def refresh(self, capability, required=ALL_RIGHTS):
         """Revoke every outstanding capability for an object.
@@ -221,30 +408,41 @@ class ObjectTable:
         capability.  Per the paper this "must be protected with a bit in
         the RIGHTS field"; callers pass the server's chosen mask as
         ``required`` (default: demand the full owner capability).
+
+        The stripe is held across validate-and-replace (re-entrantly
+        through :meth:`lookup`), and the verified memo is cleared under
+        that same hold — no window exists in which the old secret's
+        proven pairs could bless a capability of the new generation.
         """
-        with self._lock:
+        number = capability.object
+        shard = self._shards[number & self._mask]
+        with shard.lock:
             entry, _ = self.lookup(capability, required)
             entry.secret = self.scheme.new_secret(self._rng)
             entry.generation += 1
+            entry.verified.clear()
             secret = entry.secret
             generation = entry.generation
-        self._notify_revocation(capability.object, generation)
+        self._notify_revocation(number, generation, shard.index)
         rights_field, check = self.scheme.mint(secret, ALL_RIGHTS)
         return Capability(
             port=self.port,
-            object=capability.object,
+            object=number,
             rights=rights_field,
             check=check,
         )
 
     def destroy(self, capability, required=ALL_RIGHTS):
         """Validate and remove an object, recycling its number."""
-        with self._lock:
+        number = capability.object
+        shard = self._shards[number & self._mask]
+        with shard.lock:
             entry, _ = self.lookup(capability, required)
-            del self._entries[entry.number]
-            self._free_numbers.append(entry.number)
+            del shard.entries[entry.number]
+            shard.free_numbers.append(entry.number)
             generation = entry.generation
-        self._notify_revocation(entry.number, generation)
+        self._recycle_hints.append(shard.index)
+        self._notify_revocation(entry.number, generation, shard.index)
         return entry.data
 
     def age(self, on_expire=None):
@@ -259,22 +457,37 @@ class ObjectTable:
         no-op STD_TOUCH — resets the lifetime.  Directory-style servers
         run a background client that touches everything still reachable
         by name, then call age(); what remains unproven is garbage.
+
+        The sweep is stripe-by-stripe: each shard's stripe is taken
+        exactly once, and that single continuous hold covers both the
+        decrement pass and the expiry pass — a concurrent refresh or
+        touch (which needs the same stripe) therefore cannot interleave
+        between an entry's decrement and its removal, so no stale
+        snapshot can ever expire a row whose lifetime was just reset.
+        Lookups on the other shards proceed while this stripe sweeps;
+        ``on_expire`` and the revocation fan-out run after the stripe
+        is released.
         """
-        with self._lock:
-            expired = []
-            for entry in list(self._entries.values()):
-                if entry.lifetime is None:
-                    continue
-                entry.lifetime -= 1
-                if entry.lifetime <= 0:
-                    expired.append(entry)
-            for entry in expired:
-                del self._entries[entry.number]
-                self._free_numbers.append(entry.number)
+        expired = []
+        for shard in self._shards:
+            with shard.lock:
+                doomed = []
+                for entry in shard.entries.values():
+                    if entry.lifetime is None:
+                        continue
+                    entry.lifetime -= 1
+                    if entry.lifetime <= 0:
+                        doomed.append(entry)
+                for entry in doomed:
+                    del shard.entries[entry.number]
+                    shard.free_numbers.append(entry.number)
+                expired.extend(doomed)
         for entry in expired:
+            shard_index = entry.number & self._mask
+            self._recycle_hints.append(shard_index)
             if on_expire is not None:
                 on_expire(entry)
-            self._notify_revocation(entry.number, entry.generation)
+            self._notify_revocation(entry.number, entry.generation, shard_index)
         return expired
 
     def mint_for(self, number, rights=ALL_RIGHTS):
@@ -285,8 +498,11 @@ class ObjectTable:
         the memory server minting a process capability after MAKE PROCESS
         is exactly this).  Never expose this over the wire.
         """
-        with self._lock:
-            entry = self._entry(number)
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            entry = shard.entries.get(number)
+            if entry is None:
+                raise NoSuchObject("no object %d on this server" % number)
             secret = entry.secret
         rights_field, check = self.scheme.mint(secret, Rights(rights))
         return Capability(

@@ -12,6 +12,8 @@ frames, a miss costs one broadcast plus one HERE unicast.  The RPC
 benchmarks count both.
 """
 
+import threading
+
 from repro.core.ports import Port, as_port
 from repro.crypto.randomsrc import RandomSource
 from repro.errors import PortNotLocated
@@ -48,16 +50,90 @@ def install_locate_responder(nic):
     return responder
 
 
-class Locator:
-    """Resolve put-ports to machine addresses, with a cache."""
+class ShardedLocationCache:
+    """The (port, machine) map, partitioned into lock-striped shards.
 
-    def __init__(self, node, rng=None):
+    The locate cache is read-mostly: every transaction may consult it,
+    while writes happen only on a LOCATE miss (one broadcast round trip
+    away) and invalidations only when a server crashes or migrates.
+    Reads are therefore lock-free — one dict probe on the owning shard,
+    safe against concurrent writers because shard dicts are only ever
+    mutated under that shard's lock and CPython dict reads are atomic —
+    and writers (:meth:`put`, :meth:`invalidate`) take only the owning
+    stripe, so invalidating one port never stalls lookups, or other
+    invalidations, elsewhere.
+    """
+
+    def __init__(self, shards=8):
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError("shards must be a power of two >= 1")
+        self._shards = [{} for _ in range(shards)]
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._mask = shards - 1
+
+    def _index(self, port):
+        return port.value & self._mask
+
+    def get(self, port):
+        """The cached machine for ``port``, or None.  Lock-free."""
+        return self._shards[port.value & self._mask].get(port)
+
+    def put(self, port, machine):
+        index = self._index(port)
+        with self._locks[index]:
+            self._shards[index][port] = machine
+
+    def invalidate(self, port):
+        """Per-shard invalidation: drops one mapping under one stripe."""
+        index = self._index(port)
+        with self._locks[index]:
+            self._shards[index].pop(port, None)
+
+    def clear(self):
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                shard.clear()
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, port):
+        return port in self._shards[port.value & self._mask]
+
+    @property
+    def shard_count(self):
+        return len(self._shards)
+
+
+class Locator:
+    """Resolve put-ports to machine addresses, with a sharded cache."""
+
+    def __init__(self, node, rng=None, cache_shards=8):
         self.node = node
         self.rng = rng or RandomSource()
-        self.cache = {}
-        #: Experiment counters.
-        self.hits = 0
-        self.misses = 0
+        self.cache = ShardedLocationCache(shards=cache_shards)
+        # Experiment counters: per-stripe (hits, misses) tuples replaced
+        # wholesale, partitioned like the cache itself, with no lock —
+        # the hit path stays as lock-free as the cache read it follows.
+        # A reader always sees a coherent pair (one reference load,
+        # never a torn hits-without-its-misses mix); two locates racing
+        # on the *same* stripe can lose an increment, the same
+        # best-effort accounting the old `hits += 1` counters had.
+        self._stripe_counts = [(0, 0)] * self.cache.shard_count
+
+    @property
+    def hits(self):
+        return sum(counts[0] for counts in self._stripe_counts)
+
+    @property
+    def misses(self):
+        return sum(counts[1] for counts in self._stripe_counts)
+
+    def _count(self, port, hit):
+        counts = self._stripe_counts
+        index = self.cache._index(port)
+        hits, misses = counts[index]
+        counts[index] = (hits + 1, misses) if hit else (hits, misses + 1)
 
     def locate(self, port, timeout=1.0):
         """Return the machine address serving ``port``.
@@ -68,9 +144,9 @@ class Locator:
         port = as_port(port)
         cached = self.cache.get(port)
         if cached is not None:
-            self.hits += 1
+            self._count(port, hit=True)
             return cached
-        self.misses += 1
+        self._count(port, hit=False)
         # Local imports to avoid cycle noise (rpc pulls in the transports).
         from repro.core.ports import PrivatePort
         from repro.ipc.rpc import _poll_blocking
@@ -95,14 +171,15 @@ class Locator:
                 frame = _poll_blocking(self.node, wire_reply, timeout)
             if frame is None:
                 raise PortNotLocated("no machine answered LOCATE for %r" % port)
-            self.cache[port] = frame.src
+            self.cache.put(port, frame.src)
             return frame.src
         finally:
             self.node.unlisten_wire(wire_reply)
 
     def invalidate(self, port):
-        """Forget a cached location (server crashed or migrated)."""
-        self.cache.pop(as_port(port), None)
+        """Forget a cached location (server crashed or migrated); only
+        the owning cache shard is touched."""
+        self.cache.invalidate(as_port(port))
 
     def __repr__(self):
         return "Locator(cached=%d, hits=%d, misses=%d)" % (

@@ -12,7 +12,9 @@ and several servers can run on one machine or the same server on several
 machines (the network round-robins among listeners on a shared port).
 """
 
+import threading
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.ports import PrivatePort, as_port
 from repro.core.registry import ObjectTable
@@ -186,6 +188,7 @@ class ObjectServer:
         sealer=None,
         require_sealed=False,
         authorized_signatures=None,
+        workers=0,
     ):
         self.node = node
         self.rng = rng or RandomSource()
@@ -213,12 +216,29 @@ class ObjectServer:
             # Revocation hygiene: when a secret dies (REFRESH, DESTROY,
             # aging) the sealer's §2.4 caches must drop that object's
             # triples, or a replayed sealed blob keeps short-circuiting
-            # decryption with the revoked capability.
+            # decryption with the revoked capability.  The fan-out names
+            # the owning table stripe; the caches compute their own
+            # partition from (port, number).
             self.table.on_revocation(
-                lambda port, number, _generation: sealer.invalidate_object(
-                    port, number
+                lambda port, number, _generation, _shard: (
+                    sealer.invalidate_object(port, number)
                 )
             )
+        #: Opt-in parallel dispatch: with ``workers >= 2`` the batch
+        #: handler partitions each delivered run by object number and
+        #: hands the partitions to a thread pool.  Frames naming the
+        #: same object always land in the same partition — handlers
+        #: stay single-threaded per object — while distinct objects
+        #: proceed in parallel; replies still leave through the batched
+        #: egress lane on the dispatching thread, so no station is ever
+        #: driven from two threads.
+        self.workers = int(workers)
+        self._pool = None
+        # Serializes node egress when the pool exists: the dispatching
+        # thread's bulk reply lane and a DeferredReply.send() fired from
+        # whichever pool thread ran the triggering handler must not
+        # drive the station at the same time.
+        self._egress_lock = threading.Lock()
         self._commands = {}
         self._collect_commands()
         self._running = False
@@ -266,10 +286,17 @@ class ObjectServer:
         per-frame handler; the dispatch semantics are identical either
         way.
         """
+        if self.workers >= 2 and self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="%s-worker" % type(self).__name__,
+            )
         network = getattr(self.node, "network", None)
         if (
-            network is not None and getattr(network, "loop", None) is not None
-        ) or getattr(self.node, "supports_batch_serve", False):
+            (network is not None and getattr(network, "loop", None) is not None)
+            or getattr(self.node, "supports_batch_serve", False)
+            or self._pool is not None
+        ):
             self.node.serve_batch(self.get_port, self._handle_frames)
         else:
             self.node.serve(self.get_port, self._handle_frame)
@@ -279,6 +306,9 @@ class ObjectServer:
     def stop(self):
         self.node.unlisten(self.get_port)
         self._running = False
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     @property
     def running(self):
@@ -347,13 +377,34 @@ class ObjectServer:
         whole run leave in one bulk unicast.  Request counting, when on,
         is one Counter update per frame, as ever.
         """
-        dispatch = self._dispatch_request
-        count = self.count_requests
-        counts = self.request_counts
+        pool = self._pool  # snapshot: a racing stop() may null it
+        if pool is not None and len(frames) > 1:
+            # Pool-safe only when every frame's full object set is
+            # knowable from its header capability: a request carrying
+            # extra_caps names *several* objects (a bank transfer's
+            # payee, a directory install's target) and would race the
+            # buckets of the objects it does not key on; a sealed
+            # request's objects are unknown until unsealed.  Either in
+            # the batch means the whole batch dispatches serially below.
+            sealed_matters = self.sealer is not None
+            pool_safe = True
+            for frame in frames:
+                message = frame.message
+                if message.extra_caps or (
+                    sealed_matters and message.sealed_caps
+                ):
+                    pool_safe = False
+                    break
+            if pool_safe:
+                self._handle_frames_parallel(frames, pool)
+                return
         if self.sealer is not None:
             for frame in frames:
                 self._handle_frame(frame)
             return
+        dispatch = self._dispatch_request
+        count = self.count_requests
+        counts = self.request_counts
         signature_port = self._signature_port
         outbox = []
         out_append = outbox.append
@@ -370,14 +421,102 @@ class ObjectServer:
         if outbox:
             # One bulk unicast for the whole run's replies; a node
             # without the bulk path (sockets) gets them one put at a
-            # time, which is what it would have seen anyway.
-            bulk = getattr(self.node, "put_owned_unicast_bulk", None)
-            if bulk is not None:
-                bulk(outbox)
+            # time, which is what it would have seen anyway.  With a
+            # pool configured this serial tail still serializes against
+            # pool-thread deferred sends.
+            if self._pool is not None:
+                with self._egress_lock:
+                    self._flush_outbox(outbox)
             else:
-                put_owned = self.node.put_owned
-                for reply, src in outbox:
-                    put_owned(reply, src)
+                self._flush_outbox(outbox)
+
+    def _flush_outbox(self, outbox):
+        bulk = getattr(self.node, "put_owned_unicast_bulk", None)
+        if bulk is not None:
+            bulk(outbox)
+        else:
+            put_owned = self.node.put_owned
+            for reply, src in outbox:
+                put_owned(reply, src)
+
+    def _handle_frames_parallel(self, frames, pool):
+        """Batch dispatch across the worker pool.
+
+        Object affinity: each frame is bucketed by its plaintext
+        capability's object number modulo ``workers``, so two requests
+        naming the same object are always in the same bucket and a
+        bucket runs sequentially on one thread — handlers remain
+        single-threaded per object with no handler-side locking, while
+        requests for distinct objects proceed on other workers (the
+        object table's stripes make the shared lookup path safe).
+        Frames with no plaintext capability share the serial bucket 0.
+        A batch containing any matrix-sealed request never reaches this
+        method at all — :meth:`_handle_frames` dispatches it serially,
+        because a sealed capability's object is unknown until unsealed
+        and could name the same object as a plaintext request in a
+        different bucket, breaking the affinity rule.
+
+        Threading discipline: workers only *compute* replies; request
+        counting happens here before the fan-out, and every reply
+        leaves through this (the dispatching) thread — the bulk unicast
+        lane when no sealer is configured, the seal-and-sign path
+        otherwise — so the station underneath is never driven from two
+        threads at once.
+        """
+        count = self.count_requests
+        counts = self.request_counts
+        workers = self.workers
+        buckets = {}
+        for frame in frames:
+            request = frame.message
+            if count:
+                counts[request.command] += 1
+            capability = request.capability
+            key = 0 if capability is None else capability.object % workers
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+            bucket.append((frame, request))
+        dispatch = self._dispatch_request
+
+        def run(bucket):
+            out = []
+            for frame, request in bucket:
+                reply = dispatch(frame, request)
+                if reply is not None:  # None = deferred
+                    out.append((frame, reply))
+            return out
+
+        ordered = list(buckets.values())
+        pending = ordered[1:]
+        futures = []
+        try:
+            for bucket in pending:
+                futures.append(pool.submit(run, bucket))
+        except RuntimeError:
+            # The pool was shut down mid-batch (a racing stop()); the
+            # unsubmitted buckets run inline below — still one bucket at
+            # a time, so the per-object affinity rule holds.
+            pass
+        results = [run(ordered[0])]
+        for bucket in pending[len(futures):]:
+            results.append(run(bucket))
+        results.extend(future.result() for future in futures)
+        if self.sealer is not None:
+            for pairs in results:
+                for frame, reply in pairs:
+                    self._send_reply(frame, reply)
+            return
+        signature_port = self._signature_port
+        outbox = []
+        for pairs in results:
+            for frame, reply in pairs:
+                if reply.signature is not signature_port:
+                    reply = reply._evolve(signature=signature_port)
+                outbox.append((reply, frame.src))
+        if outbox:
+            with self._egress_lock:
+                self._flush_outbox(outbox)
 
     def _send_reply(self, frame, reply):
         """Seal, sign, and send one reply (shared by the dispatch loop and
@@ -393,7 +532,13 @@ class ObjectServer:
             # A hand-built handler reply: stamp a private copy, which is
             # then ours to transform in place.
             reply = reply._evolve(signature=self._signature_port)
-        self.node.put_owned(reply, frame.src)
+        if self._pool is not None:
+            # A DeferredReply.send() may run on a pool thread while the
+            # dispatching thread is mid-egress; serialize the station.
+            with self._egress_lock:
+                self.node.put_owned(reply, frame.src)
+        else:
+            self.node.put_owned(reply, frame.src)
 
     def _authenticate_sender(self, request):
         if self.authorized_signatures is None:

@@ -16,7 +16,12 @@ the full §2.4 stack:
 """
 
 from repro.softprot.boot import Announcement, BootProtocol
-from repro.softprot.cache import ClientCapabilityCache, LruCache, ServerCapabilityCache
+from repro.softprot.cache import (
+    ClientCapabilityCache,
+    LruCache,
+    ServerCapabilityCache,
+    ShardedLruCache,
+)
 from repro.softprot.linkcrypt import LinkCryptNode
 from repro.softprot.matrix import CapabilitySealer, KeyMatrix, MachineKeyView
 
@@ -30,4 +35,5 @@ __all__ = [
     "LruCache",
     "MachineKeyView",
     "ServerCapabilityCache",
+    "ShardedLruCache",
 ]

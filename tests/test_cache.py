@@ -138,3 +138,177 @@ class TestConcurrency:
         req.join(timeout=30.0)
         assert not errors
         assert not rev.is_alive() and not req.is_alive()
+
+
+class TestShardedLruCache:
+    def test_basic_map_surface(self):
+        from repro.softprot.cache import ShardedLruCache
+
+        cache = ShardedLruCache(max_entries=512, shards=8)
+        for i in range(40):
+            cache.put("key-%d" % i, i)
+        assert len(cache) == 40
+        assert cache.get("key-7") == 7
+        assert "key-7" in cache and "missing" not in cache
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_shard_count_must_be_power_of_two(self):
+        import pytest
+
+        from repro.softprot.cache import ShardedLruCache
+
+        with pytest.raises(ValueError):
+            ShardedLruCache(shards=6)
+        with pytest.raises(ValueError):
+            ShardedLruCache(shards=0)
+        with pytest.raises(ValueError):
+            ShardedLruCache(max_entries=0)
+
+    def test_stats_aggregate_across_shards(self):
+        from repro.softprot.cache import ShardedLruCache
+
+        cache = ShardedLruCache(max_entries=64, shards=4)
+        for i in range(20):
+            cache.put(i, i)
+        hits = sum(1 for i in range(20) if cache.get(i) is not None)
+        misses = sum(1 for i in range(100, 110) if cache.get(i) is None)
+        assert cache.stats() == (hits, misses) == (20, 10)
+        assert cache.hits == 20 and cache.misses == 10
+        assert cache.hit_rate == 20 / 30
+
+    def test_capacity_is_split_per_stripe(self):
+        from repro.softprot.cache import ShardedLruCache
+
+        cache = ShardedLruCache(max_entries=16, shards=4)
+        for i in range(200):
+            cache.put(i, i)
+        assert len(cache) <= 16
+
+
+class TestShardedClientCache:
+    def test_forget_object_sweeps_only_the_owning_stripe(self):
+        cache = ClientCapabilityCache(max_entries=256, shards=8)
+        # Two objects guaranteed to live on different stripes.
+        a, b = 0, 1
+        while cache._object_shard(Port(1), a) == cache._object_shard(Port(1), b):
+            b += 1
+        for dst in range(5):
+            cache.remember(cap(a), dst, b"sealed-a-%d" % dst)
+            cache.remember(cap(b), dst, b"sealed-b-%d" % dst)
+        # Foreign stripes must not even be visited, let alone swept.
+        owning = cache._object_shard(Port(1), a)
+        for index, shard in enumerate(cache._shards):
+            if index != owning:
+                shard.evict_where = _must_not_be_called
+        assert cache.forget_object(Port(1), a) == 5
+        for index, shard in enumerate(cache._shards):
+            if index != owning:
+                del shard.evict_where  # restore the class method
+        assert cache.lookup(cap(a), 0) is None
+        assert cache.lookup(cap(b), 0) == b"sealed-b-0"
+
+    def test_triples_for_one_object_colocate(self):
+        cache = ClientCapabilityCache(max_entries=256, shards=8)
+        for dst in range(10):
+            cache.remember(cap(3), dst, b"s%d" % dst)
+        indices = {
+            cache.shard_index((cap(3), dst)) for dst in range(10)
+        }
+        assert len(indices) == 1
+
+
+def _must_not_be_called(predicate):  # pragma: no cover - failure path
+    raise AssertionError("swept a stripe that does not own the object")
+
+
+class TestShardedServerCache:
+    def test_forget_object_uses_stripe_hints(self):
+        cache = ServerCapabilityCache(max_entries=256, shards=8)
+        # Spread object 5's triples over several stripes (placement is by
+        # sealed-blob hash), then forget: every one must go.
+        for src in range(12):
+            cache.remember(b"sealed-5-%d" % src, src, cap(5))
+        for src in range(12):
+            cache.remember(b"sealed-9-%d" % src, src, cap(9))
+        assert cache.forget_object(Port(1), 5) == 12
+        assert all(
+            cache.lookup(b"sealed-5-%d" % src, src) is None for src in range(12)
+        )
+        assert all(
+            cache.lookup(b"sealed-9-%d" % src, src) == cap(9)
+            for src in range(12)
+        )
+        # The hint was consumed: a second forget knows there is nothing.
+        assert cache.forget_object(Port(1), 5) == 0
+
+    def test_forget_object_without_hints_still_correct(self):
+        # A tiny hint limit forces the degraded sweep-every-stripe mode.
+        cache = ServerCapabilityCache(max_entries=1, shards=2)
+        for n in range(8):
+            cache.remember(b"sealed-%d" % n, 0, cap(n))
+        assert not cache._hints_complete
+        cache.remember(b"sealed-last", 0, cap(42))
+        assert cache.forget_object(Port(1), 42) == 1
+        assert cache.lookup(b"sealed-last", 0) is None
+
+
+class TestShardedConcurrency:
+    def test_eight_thread_revocation_fanout_purges_only_the_target(self):
+        """8 threads, each owning disjoint objects, race remember/forget
+        on both §2.4 caches: a revocation must purge exactly its object's
+        triples and never disturb a neighbour's."""
+        import threading
+
+        client_cache = ClientCapabilityCache(max_entries=1024, shards=8)
+        server_cache = ServerCapabilityCache(max_entries=1024, shards=8)
+        n_threads = 8
+        rounds = 150
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for r in range(rounds):
+                    number = tid + n_threads * (r % 4)
+                    capability = cap(number)
+                    sealed = b"sealed-%d-%d" % (tid, r)
+                    client_cache.remember(capability, tid, sealed)
+                    server_cache.remember(sealed, tid, capability)
+                    assert client_cache.lookup(capability, tid) == sealed
+                    assert server_cache.lookup(sealed, tid) == capability
+                    # Revoke: this object's triples die, in both caches.
+                    client_cache.forget_object(Port(1), number)
+                    server_cache.forget_object(Port(1), number)
+                    assert client_cache.lookup(capability, tid) is None
+                    assert server_cache.lookup(sealed, tid) is None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+
+
+class TestServerCacheClear:
+    def test_clear_resets_hints_and_undegrades(self):
+        """Regression: clear() must wipe the hint table too — stale
+        hints both leak memory and push the table toward permanent
+        sweep-every-stripe degradation."""
+        cache = ServerCapabilityCache(max_entries=1, shards=2)
+        for n in range(8):
+            cache.remember(b"sealed-%d" % n, 0, cap(n))
+        assert not cache._hints_complete  # degraded by the tiny limit
+        cache.clear()
+        assert len(cache) == 0
+        assert cache._hints_complete and not cache._hints
+        cache.remember(b"fresh", 0, cap(3))
+        assert cache.forget_object(Port(1), 3) == 1
+        assert cache.forget_object(Port(1), 3) == 0  # hint consumed

@@ -228,3 +228,82 @@ class TestLocatedUnicast:
             dst_machine=machine,
         )
         assert reply.is_reply
+
+
+class TestShardedLocationCache:
+    """The locate cache is a sharded read-mostly map: lock-free reads,
+    stripe-local writes and invalidations."""
+
+    def test_put_get_invalidate(self):
+        from repro.ipc.locate import ShardedLocationCache
+
+        cache = ShardedLocationCache(shards=8)
+        ports = [Port(1000 + i) for i in range(32)]
+        for i, port in enumerate(ports):
+            cache.put(port, i)
+        assert len(cache) == 32
+        assert all(cache.get(port) == i for i, port in enumerate(ports))
+        cache.invalidate(ports[5])
+        assert cache.get(ports[5]) is None
+        assert len(cache) == 31
+        # Neighbours — same stripe or not — are untouched.
+        assert cache.get(ports[5 + 8]) == 13  # same stripe (value & mask)
+        assert cache.get(ports[6]) == 6
+
+    def test_shard_count_must_be_power_of_two(self):
+        from repro.ipc.locate import ShardedLocationCache
+
+        with pytest.raises(ValueError):
+            ShardedLocationCache(shards=5)
+
+    def test_contains_and_clear(self):
+        from repro.ipc.locate import ShardedLocationCache
+
+        cache = ShardedLocationCache(shards=4)
+        cache.put(Port(7), 1)
+        assert Port(7) in cache and Port(8) not in cache
+        cache.clear()
+        assert len(cache) == 0 and Port(7) not in cache
+
+    def test_concurrent_readers_and_invalidators(self):
+        """Read-mostly discipline: lock-free gets race stripe-locked
+        puts/invalidations without errors or wrong answers."""
+        import threading
+
+        from repro.ipc.locate import ShardedLocationCache
+
+        cache = ShardedLocationCache(shards=8)
+        ports = [Port(2000 + i) for i in range(64)]
+        for i, port in enumerate(ports):
+            cache.put(port, i)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for i, port in enumerate(ports):
+                        got = cache.get(port)
+                        assert got is None or got == i
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def churner():
+            try:
+                for r in range(300):
+                    port = ports[r % len(ports)]
+                    cache.invalidate(port)
+                    cache.put(port, r % len(ports))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        churners = [threading.Thread(target=churner) for _ in range(4)]
+        for t in readers + churners:
+            t.start()
+        for t in churners:
+            t.join(timeout=30.0)
+        stop.set()
+        for t in readers:
+            t.join(timeout=30.0)
+        assert not errors

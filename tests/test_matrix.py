@@ -211,7 +211,9 @@ class TestRevokeThenReplay:
         )
         # Mirror ObjectServer's wiring: the table announces dead secrets.
         table.on_revocation(
-            lambda port, number, _gen: server.invalidate_object(port, number)
+            lambda port, number, _gen, _shard: server.invalidate_object(
+                port, number
+            )
         )
         cap = table.create("precious")
         sealed = client.seal(cap, dst=2)
@@ -242,7 +244,9 @@ class TestRevokeThenReplay:
             default_lifetime=1,
         )
         table.on_revocation(
-            lambda port, number, _gen: server.invalidate_object(port, number)
+            lambda port, number, _gen, _shard: server.invalidate_object(
+                port, number
+            )
         )
         doomed = table.create("destroyed")
         aged = table.create("aged out")

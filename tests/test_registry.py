@@ -1,6 +1,7 @@
 """Tests for the server-side object table (creation, lookup, revocation)."""
 
 import threading
+import time
 
 import pytest
 
@@ -315,3 +316,412 @@ class TestSchemeIntegration:
         with pytest.raises(InvalidCapability):
             table.lookup(cap)
         assert table.destroy(fresh) == "obj"
+
+
+class TestSharding:
+    """The lock-striped table: partitioning, allocation, and sweeps."""
+
+    def test_shard_topology(self, table):
+        assert table.shard_count == 16
+        for number in range(64):
+            assert table.shard_of(number) == number % 16
+
+    def test_shard_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            ObjectTable(scheme_by_name("simple"), PORT, shards=3)
+        with pytest.raises(ValueError):
+            ObjectTable(scheme_by_name("simple"), PORT, shards=0)
+
+    def test_single_shard_degenerates_to_monolithic(self):
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=50),
+            shards=1,
+        )
+        caps = [table.create(i) for i in range(8)]
+        assert [c.object for c in caps] == list(range(8))
+        assert table.shard_of(caps[5].object) == 0
+
+    def test_creates_spread_across_shards(self, table):
+        caps = [table.create(i) for i in range(32)]
+        sizes = table.shard_sizes()
+        assert sum(sizes) == 32
+        assert sizes == [2] * 16  # round-robin: two objects per stripe
+        assert sorted(c.object for c in caps) == table.numbers()
+
+    def test_shard_sizes_and_len_agree(self, table):
+        for i in range(10):
+            table.create(i)
+        assert sum(table.shard_sizes()) == len(table) == 10
+
+    def test_recycled_number_preferred_over_fresh(self, table):
+        caps = [table.create(i) for i in range(5)]
+        table.destroy(caps[2])
+        again = table.create("recycled")
+        assert again.object == caps[2].object
+
+    def test_revocation_callback_carries_shard_index(self, table):
+        seen = []
+        table.on_revocation(
+            lambda port, number, generation, shard: seen.append(
+                (port, number, generation, shard)
+            )
+        )
+        cap = table.create("x")
+        table.refresh(cap)
+        assert seen == [(PORT, cap.object, 1, table.shard_of(cap.object))]
+
+    def test_age_expiry_carries_shard_index(self):
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=51),
+            default_lifetime=1,
+        )
+        seen = []
+        table.on_revocation(
+            lambda _port, number, _gen, shard: seen.append((number, shard))
+        )
+        caps = [table.create(i) for i in range(20)]
+        table.age()
+        assert sorted(seen) == sorted(
+            (c.object, table.shard_of(c.object)) for c in caps
+        )
+
+
+class TestVerifiedMemo:
+    """The per-entry verified-check memo: §2.4's server-side capability
+    cache.  Repeat validations skip the one-way function; the memo can
+    never outlive the secret it was proven against."""
+
+    def test_restricted_rights_stable_across_repeat_lookups(self, table):
+        cap = table.create("x")
+        weak = table.restrict(cap, Rights(0b0101))
+        for _ in range(3):
+            _, rights = table.lookup(weak)
+            assert rights == Rights(0b0101)
+        _, owner_rights = table.lookup(cap)
+        assert owner_rights == ALL_RIGHTS
+
+    def test_tampered_capability_rejected_despite_warm_memo(self, table):
+        cap = table.create("x")
+        table.lookup(cap)  # memoized
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap.with_rights(0x0F))
+
+    def test_memo_cleared_on_refresh(self, table):
+        cap = table.create("x")
+        for _ in range(5):
+            table.lookup(cap)  # hot in the memo
+        table.refresh(cap)
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap)  # must NOT be served from the stale memo
+
+    def test_memo_does_not_survive_destroy_and_recreate(self, table):
+        cap = table.create("old")
+        table.lookup(cap)
+        table.destroy(cap)
+        recreated = table.create("new")
+        assert recreated.object == cap.object
+        with pytest.raises(InvalidCapability):
+            table.lookup(cap)
+
+    def test_memo_bounded(self, table):
+        from repro.core.registry import VERIFIED_MEMO_MAX
+
+        cap = table.create("x")
+        masks = [Rights(1 << (i % 8)) for i in range(VERIFIED_MEMO_MAX + 8)]
+        restricted = [table.restrict(cap, m) for m in masks]
+        for weak in restricted:
+            table.lookup(weak)
+        entry, _ = table.lookup(cap)
+        assert len(entry.verified) <= VERIFIED_MEMO_MAX
+        # Evicted pairs simply re-verify; all capabilities still work.
+        for weak, m in zip(restricted, masks):
+            _, rights = table.lookup(weak)
+            assert rights == m
+
+    def test_memo_hit_still_enforces_required_rights(self, table):
+        cap = table.create("x")
+        weak = table.restrict(cap, Rights(0x01))
+        table.lookup(weak)  # memoized with rights 0x01
+        table.lookup(weak, required=Rights(0x01))
+        with pytest.raises(PermissionDenied):
+            table.lookup(weak, required=Rights(0x02))
+
+    def test_memo_hit_counts_as_touch(self):
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=52),
+            default_lifetime=2,
+        )
+        cap = table.create("busy")
+        table.lookup(cap)  # slow path: memoize
+        for _ in range(6):
+            table.age()
+            table.lookup(cap)  # memo hits must also prove liveness
+        assert len(table) == 1
+
+
+class TestShardedAging:
+    """age() sweeps stripe by stripe — no stop-the-world lock — and a
+    sweep can never expire an entry out from under a concurrent refresh."""
+
+    def test_age_proceeds_shard_by_shard_while_one_stripe_is_held(self):
+        scheme = scheme_by_name("xor-oneway")
+        armed = threading.Event()
+        entered = threading.Event()
+        gate = threading.Event()
+
+        class GatedScheme(type(scheme)):
+            def new_secret(self, rng):
+                if armed.is_set():
+                    entered.set()
+                    gate.wait(timeout=10.0)
+                return super().new_secret(rng)
+
+        table = ObjectTable(
+            GatedScheme(),
+            PORT,
+            rng=RandomSource(seed=53),
+            default_lifetime=2,
+        )
+        # One object per stripe: numbers 0..15 land on shards 0..15.
+        caps = [table.create(i) for i in range(16)]
+        table.age()  # every lifetime now 1
+        armed.set()
+        refreshed = []
+        refresher = threading.Thread(
+            target=lambda: refreshed.append(table.refresh(caps[15]))
+        )
+        refresher.start()
+        assert entered.wait(timeout=10.0)  # stripe 15 is now held
+        expired_box = []
+        ager = threading.Thread(target=lambda: expired_box.append(table.age()))
+        ager.start()
+        # The sweep finishes shards 0..14 while stripe 15 is held by the
+        # in-flight refresh: those objects expire without waiting.
+        deadline = time.time() + 10.0
+        while time.time() < deadline and any(n in table for n in range(15)):
+            time.sleep(0.001)
+        assert not any(n in table for n in range(15))
+        assert ager.is_alive()  # blocked on stripe 15, not on a global lock
+        gate.set()
+        refresher.join(timeout=10.0)
+        ager.join(timeout=10.0)
+        assert not refresher.is_alive() and not ager.is_alive()
+        # The refreshed object survived the sweep: its refresh (a use)
+        # reset the lifetime the sweep then decremented to 1, not 0.
+        assert 15 in table
+        entry, _ = table.lookup(refreshed[0])
+        assert entry.generation == 1
+        assert sorted(e.number for e in expired_box[0]) == list(range(15))
+
+    def test_concurrent_sweeps_and_touches_never_misfire(self):
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=54),
+            default_lifetime=150,
+        )
+        survivor = table.create("outlives-100-sweeps")
+        doomed = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=55),
+            default_lifetime=50,
+        )
+        doomed_cap = doomed.create("dies-within-100-sweeps")
+        hot = table.create("touched-throughout")
+        errors = []
+        stop = threading.Event()
+
+        def toucher():
+            try:
+                while not stop.is_set():
+                    table.lookup(hot)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def ager(target, sweeps):
+            try:
+                for _ in range(sweeps):
+                    target.age()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        touch_threads = [threading.Thread(target=toucher) for _ in range(2)]
+        age_threads = [
+            threading.Thread(target=ager, args=(table, 25)) for _ in range(4)
+        ] + [threading.Thread(target=ager, args=(doomed, 25)) for _ in range(4)]
+        for t in touch_threads + age_threads:
+            t.start()
+        for t in age_threads:
+            t.join(timeout=30.0)
+        stop.set()
+        for t in touch_threads:
+            t.join(timeout=30.0)
+        assert not errors
+        # 100 sweeps < lifetime 150: the untouched survivor must still be
+        # there (a double-decrementing stale-snapshot bug kills it early);
+        # 100 sweeps > lifetime 50: the doomed object must be gone.
+        assert survivor.object in table
+        assert hot.object in table
+        assert doomed_cap.object not in doomed
+
+
+class TestConcurrentShardedOps:
+    def test_eight_thread_mixed_storm(self):
+        """8 threads × disjoint objects: create/lookup/refresh/destroy
+        storms over distinct stripes must neither error nor cross wires."""
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"), PORT, rng=RandomSource(seed=56)
+        )
+        n_threads = 8
+        per_thread = 60
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    cap = table.create((tid, i))
+                    entry, rights = table.lookup(cap)
+                    assert entry.data == (tid, i)
+                    assert rights == ALL_RIGHTS
+                    fresh = table.refresh(cap)
+                    with pytest.raises(InvalidCapability):
+                        table.lookup(cap)
+                    if i % 3 == 0:
+                        assert table.destroy(fresh) == (tid, i)
+                    else:
+                        assert table.data(fresh) == (tid, i)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+        # Every surviving object is one a worker chose to keep.
+        survivors = n_threads * sum(
+            1 for i in range(per_thread) if i % 3 != 0
+        )
+        assert len(table) == survivors
+
+
+class TestRevocationFanOutSharded:
+    def test_eight_thread_refresh_destroy_age_purge_sealer_caches(self):
+        """The full wiring under concurrency: refresh/destroy/age on
+        shard k fires the fan-out which purges the sealer's §2.4 caches
+        for that object only — from 8 threads at once, with a control
+        object proving nothing else is swept."""
+        from repro.softprot.cache import (
+            ClientCapabilityCache,
+            ServerCapabilityCache,
+        )
+        from repro.softprot.matrix import CapabilitySealer, KeyMatrix
+
+        matrix = KeyMatrix(rng=RandomSource(seed=57))
+        client = CapabilitySealer(
+            matrix.view(1),
+            client_cache=ClientCapabilityCache(max_entries=1024, shards=8),
+        )
+        server = CapabilitySealer(
+            matrix.view(2),
+            server_cache=ServerCapabilityCache(max_entries=1024, shards=8),
+        )
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"), PORT, rng=RandomSource(seed=58)
+        )
+        # Mirror the full wiring: the server purges its own caches via the
+        # table hook; the client purges on learning of the revocation.
+        table.on_revocation(
+            lambda port, number, _gen, _shard: (
+                server.invalidate_object(port, number),
+                client.invalidate_object(port, number),
+            )
+        )
+        control = table.create("control")
+        control_sealed = client.seal(control, dst=2)
+        assert server.unseal(control_sealed, src=1) == control
+
+        n_threads = 8
+        rounds = 40
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for r in range(rounds):
+                    cap = table.create((tid, r))
+                    sealed = client.seal(cap, dst=2)
+                    assert server.unseal(sealed, src=1) == cap
+                    assert server.server_cache.lookup(sealed, 1) == cap
+                    if r % 2:
+                        table.refresh(cap)
+                    else:
+                        table.destroy(cap)
+                    # The fan-out purged exactly this object's triples.
+                    assert server.server_cache.lookup(sealed, 1) is None
+                    assert client.client_cache.lookup(cap, 2) is None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+        # Revocations elsewhere never touched the control object's triples.
+        assert server.server_cache.lookup(control_sealed, 1) == control
+        assert client.client_cache.lookup(control, 2) == control_sealed
+
+    def test_age_expiry_purges_caches_per_object(self):
+        from repro.softprot.cache import (
+            ClientCapabilityCache,
+            ServerCapabilityCache,
+        )
+        from repro.softprot.matrix import CapabilitySealer, KeyMatrix
+
+        matrix = KeyMatrix(rng=RandomSource(seed=59))
+        client = CapabilitySealer(
+            matrix.view(1), client_cache=ClientCapabilityCache(shards=8)
+        )
+        sealer = CapabilitySealer(
+            matrix.view(2), server_cache=ServerCapabilityCache(shards=8)
+        )
+        table = ObjectTable(
+            scheme_by_name("xor-oneway"),
+            PORT,
+            rng=RandomSource(seed=60),
+            default_lifetime=2,
+        )
+        table.on_revocation(
+            lambda port, number, _gen, _shard: sealer.invalidate_object(
+                port, number
+            )
+        )
+        caps = [table.create(i) for i in range(10)]
+        sealed = [client.seal(cap, dst=2) for cap in caps]
+        for blob, cap in zip(sealed, caps):
+            assert sealer.unseal(blob, src=1) == cap
+        table.age()  # every lifetime now 1
+        table.lookup(caps[0])  # touched: resets to 2, survives the sweep
+        table.age()
+        assert sealer.server_cache.lookup(sealed[0], 1) == caps[0]
+        for blob in sealed[1:]:
+            assert sealer.server_cache.lookup(blob, 1) is None
