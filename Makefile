@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -34,3 +34,10 @@ bench-des-smoke:
 ## queue-overload flood; asserts the drop-and-count and recovery bars.
 bench-shard-smoke:
 	$(PYTHON) benchmarks/bench_shard.py --smoke
+
+## Fault-injection scenario suite: asserts the lossy DES arm is
+## deterministic by double run, goodput at 10% loss stays >= 50% of
+## lossless, the retry storm recovers every overflow-dropped request,
+## crash recovery succeeds, and retried transfers are exactly-once.
+bench-fault-smoke:
+	$(PYTHON) benchmarks/bench_fault.py --smoke

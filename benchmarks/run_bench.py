@@ -24,16 +24,35 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(_HERE)
 
 SCHEMA = "bench_throughput/v1"
 
+#: Append-only run log: one JSON line per run_bench.py invocation, so
+#: perf history survives BENCH_throughput.json being overwritten in
+#: place.  Smoke runs are recorded too (flagged), since CI is where
+#: most runs happen.
+HISTORY = os.path.join(_REPO, "BENCH_history.jsonl")
+
+
+def append_history(report, smoke, path=HISTORY):
+    entry = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": bool(smoke),
+    }
+    entry.update(report)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
 
 def run_workloads(smoke=False):
     from bench_des import SMOKE_OVERRIDES as DES_SMOKE_OVERRIDES
     from bench_des import WORKLOADS as DES_WORKLOADS
+    from bench_fault import SMOKE_OVERRIDES as FAULT_SMOKE_OVERRIDES
+    from bench_fault import WORKLOADS as FAULT_WORKLOADS
     from bench_shard import SMOKE_OVERRIDES as SHARD_SMOKE_OVERRIDES
     from bench_shard import WORKLOADS as SHARD_WORKLOADS
     from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
@@ -44,10 +63,12 @@ def run_workloads(smoke=False):
     workloads.update(UDP_WORKLOADS)
     workloads.update(DES_WORKLOADS)
     workloads.update(SHARD_WORKLOADS)
+    workloads.update(FAULT_WORKLOADS)
     overrides = dict(SMOKE_OVERRIDES)
     overrides.update(UDP_SMOKE_OVERRIDES)
     overrides.update(DES_SMOKE_OVERRIDES)
     overrides.update(SHARD_SMOKE_OVERRIDES)
+    overrides.update(FAULT_SMOKE_OVERRIDES)
     results = {}
     for name, workload in workloads.items():
         kwargs = overrides.get(name, {}) if smoke else {}
@@ -204,6 +225,7 @@ def main(argv=None):
             report["baseline_label"] = args.baseline_label
         report["speedup"] = speedups(current, baseline)
 
+    append_history(report, smoke=args.smoke)
     if args.smoke and json_is_default:
         print("smoke mode: results not written (pass --json to keep them)")
     else:
@@ -211,6 +233,7 @@ def main(argv=None):
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print("wrote %s" % args.json)
+    print("appended %s" % HISTORY)
     for name, result in sorted(current.items()):
         headline = result.get("trans_per_sec") or result.get("frames_per_sec")
         if headline:
@@ -225,6 +248,16 @@ def main(argv=None):
     des_pipelined = current.get("des_pipelined_16_inflight", {})
     if "vs_des_serial_x" in des_pipelined:
         print("  %-24s %11.2fx" % ("vs_des_serial_x", des_pipelined["vs_des_serial_x"]))
+    fault_bank = current.get("fault_bank_effectively_once", {})
+    if fault_bank:
+        print(
+            "  %-24s %s (%d dedup hits)"
+            % (
+                "fault_bank_exactly_once",
+                "yes" if fault_bank.get("exactly_once") else "NO",
+                fault_bank.get("dedup_hits", 0),
+            )
+        )
     contended = current.get("contended_lookup_8t", {})
     if "lookups_per_sec" in contended:
         print(

@@ -8,7 +8,7 @@ like calling its object table directly.
 
 from repro.core.rights import Rights
 from repro.crypto.randomsrc import RandomSource
-from repro.errors import SecurityError, code_to_error
+from repro.errors import RPCTimeout, SecurityError, code_to_error
 from repro.ipc import stdops
 from repro.ipc.rpc import trans
 from repro.net.message import Message
@@ -41,6 +41,7 @@ class ServiceClient:
         timeout=2.0,
         sealer=None,
         signature=None,
+        retry=None,
     ):
         self.node = node
         self.put_port = put_port
@@ -48,6 +49,10 @@ class ServiceClient:
         self.expect_signature = expect_signature
         self.locator = locator
         self.timeout = timeout
+        #: Optional :class:`~repro.ipc.rpc.RetryPolicy` applied to every
+        #: call — at-least-once transactions; pair with a server-side
+        #: ReplyCache when the operations are not idempotent.
+        self.retry = retry
         #: The client's own signature secret S (a PrivatePort).  Sent in
         #: the signature field so servers that authenticate senders can
         #: match the published image F(S).
@@ -82,16 +87,26 @@ class ServiceClient:
             dst_machine = self.locator.locate(self.put_port)
         if self.sealer is not None:
             request = self.sealer.seal_message(request, dst_machine)
-        reply = trans(
-            self.node,
-            self.put_port,
-            request,
-            rng=self.rng,
-            timeout=self.timeout,
-            expect_signature=self.expect_signature,
-            dst_machine=dst_machine,
-            signature=self.signature,
-        )
+        try:
+            reply = trans(
+                self.node,
+                self.put_port,
+                request,
+                rng=self.rng,
+                timeout=self.timeout,
+                expect_signature=self.expect_signature,
+                dst_machine=dst_machine,
+                signature=self.signature,
+                retry=self.retry,
+            )
+        except RPCTimeout:
+            if self.locator is not None:
+                # The cached (port, machine) pair may be the whole
+                # problem — a crashed or migrated server.  Invalidate so
+                # the caller's next attempt re-broadcasts LOCATE instead
+                # of hammering the dark machine.
+                self.locator.invalidate(self.put_port)
+            raise
         if reply.sealed_caps:
             if self.sealer is None:
                 raise SecurityError(

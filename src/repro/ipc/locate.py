@@ -135,10 +135,21 @@ class Locator:
         hits, misses = counts[index]
         counts[index] = (hits + 1, misses) if hit else (hits, misses + 1)
 
-    def locate(self, port, timeout=1.0):
+    def locate(self, port, timeout=1.0, retries=2):
         """Return the machine address serving ``port``.
 
-        Raises :class:`PortNotLocated` when no machine answers the
+        A cache miss broadcasts LOCATE up to ``1 + retries`` times under
+        the single ``timeout`` budget: the first wait is the budget's
+        smallest power-of-two fraction, each rebroadcast doubles it, and
+        the final wait runs to the deadline itself — so an unanswered
+        locate consumes exactly ``timeout`` (virtual seconds on a DES
+        station, wall seconds over sockets, and no time at all on the
+        pump-driven simulators, where a dry pump settles each round
+        immediately).  A lost LOCATE or HERE frame on a faulty wire is
+        thus survived by rebroadcast instead of surfacing as
+        :class:`PortNotLocated`.
+
+        Raises :class:`PortNotLocated` when no machine answers any
         broadcast within ``timeout``.
         """
         port = as_port(port)
@@ -155,24 +166,40 @@ class Locator:
         # Hold the wire port listen() returns; the waits below then share
         # rpc's ``_poll_blocking`` — one feature-detected wait discipline
         # (SocketNode blocks in wall time; a DES-mode Nic consumes
-        # *virtual* time, so an unanswered LOCATE costs exactly
-        # ``timeout`` simulated seconds before :class:`PortNotLocated`)
-        # instead of a second copy of it here.
+        # *virtual* time) instead of a second copy of it here.
         wire_reply = self.node.listen(reply_private)
+        clock = getattr(self.node, "clock", None)
+        if clock is None:
+            import time
+
+            read_clock = time.monotonic
+        else:
+            read_clock = lambda: clock.now  # noqa: E731
         try:
             probe = Message(
                 command=stdops.LOCATE,
                 reply=as_port(reply_private),
                 data=port.to_bytes(),
             )
-            self.node.put_broadcast(probe)
-            frame = self.node.poll_wire(wire_reply)
-            if frame is None:
-                frame = _poll_blocking(self.node, wire_reply, timeout)
-            if frame is None:
-                raise PortNotLocated("no machine answered LOCATE for %r" % port)
-            self.cache.put(port, frame.src)
-            return frame.src
+            deadline = read_clock() + timeout
+            wait = timeout / (2 ** max(retries, 0))
+            for attempt in range(retries + 1):
+                self.node.put_broadcast(probe)
+                frame = self.node.poll_wire(wire_reply)
+                if frame is None:
+                    if attempt == retries:
+                        until = deadline
+                    else:
+                        until = min(read_clock() + wait, deadline)
+                    remaining = until - read_clock()
+                    frame = _poll_blocking(self.node, wire_reply, remaining)
+                if frame is not None:
+                    self.cache.put(port, frame.src)
+                    return frame.src
+                wait *= 2
+                if read_clock() >= deadline and attempt < retries:
+                    break
+            raise PortNotLocated("no machine answered LOCATE for %r" % port)
         finally:
             self.node.unlisten_wire(wire_reply)
 

@@ -21,6 +21,7 @@ and are discarded.  This is the digital-signature mechanism of §2.2.
 """
 
 import queue as _queue
+import random
 import time
 
 from repro.core.ports import PORT_BYTES, Port, as_port
@@ -33,6 +34,70 @@ from repro.net.sockets import SocketNode
 _DEFAULT_RNG = RandomSource()
 
 
+class RetryPolicy:
+    """Retransmission schedule for at-least-once transactions.
+
+    A transaction given a policy is transmitted, then retransmitted each
+    time a backoff wait expires without an acceptable reply — up to
+    ``attempts`` *re*transmissions, all under the transaction's overall
+    ``timeout`` budget (the deadline always wins; backoff never extends
+    it).  Waits grow exponentially from ``rto`` by ``multiplier`` up to
+    ``cap``, with a seeded multiplicative jitter in ``[1, 1+jitter)`` so
+    a fleet of synchronized clients spreads out instead of thundering in
+    lockstep — yet every run with the same seed replays the same
+    schedule, which is what the DES determinism contract requires.
+
+    The crucial protocol property: a retransmission reuses the *same*
+    reply secret G', so every copy of the request carries the same F(G')
+    on the wire.  That pair — unforgeable source address, fresh-per-
+    transaction reply port — is the transaction id the server's
+    duplicate-suppression cache keys on (:mod:`repro.ipc.server`); no
+    wire-format change is needed.
+
+    A backoff wait is a *continued wait on the reply port*, never a
+    blind sleep: a reply landing mid-backoff is taken immediately.
+    """
+
+    __slots__ = ("attempts", "rto", "cap", "multiplier", "jitter", "_rng")
+
+    def __init__(self, attempts=4, rto=0.05, cap=1.0, multiplier=2.0,
+                 jitter=0.1, seed=0):
+        if attempts < 0:
+            raise ValueError("attempts cannot be negative")
+        if rto <= 0 or cap <= 0:
+            raise ValueError("rto and cap must be positive")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        self.attempts = attempts
+        self.rto = rto
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def waits(self):
+        """One transaction's backoff schedule: ``attempts`` waits, each
+        the pause before the next retransmission.  Jitter is drawn from
+        the policy's seeded RNG per call, so concurrent transactions
+        sharing a policy get different (but reproducible) schedules."""
+        out = []
+        wait = self.rto
+        for _ in range(self.attempts):
+            w = wait
+            if self.jitter:
+                w *= 1.0 + self._rng.random() * self.jitter
+            out.append(w)
+            wait = min(wait * self.multiplier, self.cap)
+        return out
+
+    def __repr__(self):
+        return "RetryPolicy(attempts=%d, rto=%g, cap=%g, multiplier=%g)" % (
+            self.attempts, self.rto, self.cap, self.multiplier,
+        )
+
+
 def trans(
     node,
     dest_port,
@@ -42,6 +107,7 @@ def trans(
     expect_signature=None,
     dst_machine=None,
     signature=None,
+    retry=None,
 ):
     """Send one request and block for its reply.
 
@@ -65,6 +131,12 @@ def trans(
     signature:
         The *client's* signature secret (a :class:`PrivatePort`), placed
         in the signature field for server-side sender authentication.
+    retry:
+        An optional :class:`RetryPolicy` turning the transaction into an
+        at-least-once exchange: the request is retransmitted on backoff
+        expiry (same reply secret each time), still under the one
+        ``timeout`` deadline.  None (the default) keeps the classic
+        send-once semantics and the exact pre-existing hot path.
 
     Raises
     ------
@@ -74,6 +146,12 @@ def trans(
         No (acceptable) reply arrived within ``timeout`` seconds.
     """
     rng = rng or _DEFAULT_RNG
+    if retry is not None:
+        return _trans_retry(
+            node, as_port(dest_port), request, rng, timeout,
+            expect_signature, dst_machine,
+            as_port(signature) if signature is not None else None, retry,
+        )
     # The reply secret G' as a bare Port — a fresh 48-bit value per
     # transaction, exactly what PrivatePort.generate produces, minus a
     # wrapper the hot path would immediately unwrap again.  Unlike
@@ -160,6 +238,95 @@ def _poll_blocking(node, wire_port, remaining):
     return node.poll_wire(wire_port)
 
 
+def _await_screened(node, wire_reply, expect, until, read_clock, timed):
+    """Wait until ``until`` (on the station's clock) for a reply that
+    passes signature screening; None on expiry.
+
+    On a station without timed polls (the in-process simulators) a dry
+    pump means the reply can no longer arrive *this round*, so the wait
+    returns immediately — retransmission attempts, not wall time, bound
+    the retry loop there.
+    """
+    while True:
+        frame = node.poll_wire(wire_reply)
+        if frame is None:
+            remaining = until - read_clock()
+            if remaining <= 0:
+                return None
+            frame = _poll_blocking(node, wire_reply, remaining)
+            if frame is None:
+                if not timed:
+                    return None
+                continue  # timed poll expired; the remaining check settles it
+        reply = frame.message
+        if expect is None or reply.signature == expect:
+            return reply
+        # A forged reply: discard and keep waiting for the genuine one.
+
+
+def _trans_retry(node, dest, request, rng, timeout, expect_signature,
+                 dst_machine, sig_port, retry):
+    """The at-least-once tail of :func:`trans`.
+
+    Every transmission re-``_evolve``s from the caller's pristine
+    request with the *same* reply secret: the F-box transforms the
+    outgoing copy in place on egress, so re-sending a previous copy
+    would double-one-way its reply/signature fields (the same corruption
+    an intruder replay exhibits), while a fresh secret per attempt would
+    defeat the server's duplicate suppression.
+    """
+    reply_secret = Port.random(rng)
+    wire_reply = node.listen(reply_secret)
+    clock = getattr(node, "clock", None)
+    read_clock = time.monotonic if clock is None else lambda: clock.now
+    timed = getattr(node, "supports_poll_timeout", False)
+
+    def transmit():
+        if sig_port is None:
+            outgoing = request._evolve(
+                dest=dest, reply=reply_secret, is_reply=False
+            )
+        else:
+            outgoing = request._evolve(
+                dest=dest, reply=reply_secret, signature=sig_port,
+                is_reply=False,
+            )
+        accepted = node.put_owned(outgoing, dst_machine)
+        if not accepted and dst_machine is None:
+            raise PortNotLocated(
+                "no server is listening on port %r" % (dest,)
+            )
+
+    try:
+        transmit()
+        transmissions = 1
+        deadline = read_clock() + timeout
+        for wait in retry.waits():
+            until = min(read_clock() + wait, deadline)
+            reply = _await_screened(
+                node, wire_reply, expect_signature, until, read_clock, timed
+            )
+            if reply is not None:
+                return reply
+            if read_clock() >= deadline:
+                break
+            transmit()
+            transmissions += 1
+        # Attempts exhausted (or deadline passed mid-schedule): one final
+        # wait runs the remaining budget down to the deadline itself.
+        reply = _await_screened(
+            node, wire_reply, expect_signature, deadline, read_clock, timed
+        )
+        if reply is not None:
+            return reply
+        raise RPCTimeout(
+            "no reply after %d transmissions within %.3fs from port %r"
+            % (transmissions, timeout, dest)
+        )
+    finally:
+        node.unlisten_wire(wire_reply)
+
+
 # ----------------------------------------------------------------------
 # pipelined transactions
 # ----------------------------------------------------------------------
@@ -178,9 +345,27 @@ class AsyncTrans:
     ``reply_secret`` is for internal batch issuers (``trans_many`` draws
     one pooled block of randomness for a whole batch); ordinary callers
     leave it None and the constructor draws from ``rng``.
+
+    With ``retry`` (a :class:`RetryPolicy`), :meth:`result` retransmits
+    the request on backoff expiry — same reply secret every time, so the
+    server's duplicate suppression sees one transaction — and
+    :meth:`cancel` withdraws the pending retransmit state along with the
+    reply GET.
     """
 
-    __slots__ = ("node", "wire_reply", "expect_signature", "_reply")
+    __slots__ = (
+        "node",
+        "wire_reply",
+        "expect_signature",
+        "_reply",
+        "_cancelled",
+        "_waits",
+        "_request",
+        "_dest",
+        "_dst_machine",
+        "_sig_port",
+        "_reply_secret",
+    )
 
     def __init__(
         self,
@@ -192,12 +377,29 @@ class AsyncTrans:
         dst_machine=None,
         signature=None,
         reply_secret=None,
+        retry=None,
     ):
         if reply_secret is None:
             reply_secret = Port.random(rng or _DEFAULT_RNG)
         self.node = node
         self.expect_signature = expect_signature
         self._reply = None
+        self._cancelled = False
+        if retry is not None:
+            # The pristine request and routing are kept so result() can
+            # re-evolve a fresh copy per retransmission (the F-box
+            # transforms each outgoing copy in place on egress).
+            self._waits = retry.waits()
+            self._request = request
+            self._dest = as_port(dest_port)
+            self._dst_machine = dst_machine
+            self._sig_port = (
+                as_port(signature) if signature is not None else None
+            )
+            self._reply_secret = reply_secret
+        else:
+            self._waits = None
+            self._request = None
         wire_reply = self.wire_reply = node.listen(reply_secret)
         try:
             if signature is None:
@@ -233,7 +435,11 @@ class AsyncTrans:
             reply = frame.message
             if expect is None or reply.signature == expect:
                 self._reply = reply
-                self.node.unlisten_wire(self.wire_reply)
+                if not self._cancelled:
+                    # cancel() already released the GET; unlistening the
+                    # same wire port twice would tear down a listener a
+                    # later transaction may have re-registered.
+                    self.node.unlisten_wire(self.wire_reply)
                 return reply
             frame = self.node.poll_wire(self.wire_reply)
         return None
@@ -259,6 +465,8 @@ class AsyncTrans:
         if reply is not None:
             return reply
         node = self.node
+        if self._waits is not None:
+            return self._result_retry(timeout)
         if getattr(node, "supports_poll_timeout", False):
             # Same clock discipline as trans(): the budget is wall time
             # on real wires, virtual time on a DES network.
@@ -291,10 +499,95 @@ class AsyncTrans:
             "no reply within %.3fs on wire port %r" % (timeout, self.wire_reply)
         )
 
+    def _result_retry(self, timeout):
+        """The at-least-once arm of :meth:`result` — the first
+        transmission happened at construction; each backoff expiry here
+        retransmits, all under the one ``timeout`` deadline."""
+        node = self.node
+        clock = getattr(node, "clock", None)
+        read_clock = time.monotonic if clock is None else lambda: clock.now
+        timed = getattr(node, "supports_poll_timeout", False)
+        deadline = read_clock() + timeout
+        transmissions = 1
+        for wait in self._waits:
+            until = min(read_clock() + wait, deadline)
+            reply = self._await(until, read_clock, timed)
+            if reply is not None:
+                return reply
+            if self._cancelled or read_clock() >= deadline:
+                break
+            self._retransmit()
+            transmissions += 1
+        if not self._cancelled:
+            reply = self._await(deadline, read_clock, timed)
+            if reply is not None:
+                return reply
+        self.cancel()
+        raise RPCTimeout(
+            "no reply after %d transmissions within %.3fs on wire port %r"
+            % (transmissions, timeout, self.wire_reply)
+        )
+
+    def _await(self, until, read_clock, timed):
+        """Wait until ``until`` for a screened reply; None on expiry (or,
+        on pump-driven stations, as soon as a pump makes no progress)."""
+        node = self.node
+        while True:
+            frame = node.poll_wire(self.wire_reply)
+            if frame is not None:
+                reply = self._screen(frame)
+                if reply is not None:
+                    return reply
+                continue
+            remaining = until - read_clock()
+            if remaining <= 0:
+                return None
+            if timed:
+                frame = node.poll_wire(self.wire_reply, timeout=remaining)
+                if frame is None:
+                    continue  # expired; the remaining check settles it
+                reply = self._screen(frame)
+                if reply is not None:
+                    return reply
+            elif not node.pump():
+                return None
+
+    def _retransmit(self):
+        """Put one more copy of the request on the wire (same reply
+        secret — one transaction as far as the server can tell)."""
+        request = self._request
+        if request is None or self._cancelled or self._reply is not None:
+            return False
+        if self._sig_port is None:
+            outgoing = request._evolve(
+                dest=self._dest, reply=self._reply_secret, is_reply=False
+            )
+        else:
+            outgoing = request._evolve(
+                dest=self._dest,
+                reply=self._reply_secret,
+                signature=self._sig_port,
+                is_reply=False,
+            )
+        self.node.put_owned(outgoing, self._dst_machine)
+        return True
+
     def cancel(self):
-        """Withdraw the reply GET; idempotent, safe after result()."""
-        if self._reply is None:
-            self.node.unlisten_wire(self.wire_reply)
+        """Withdraw the reply GET and purge pending retransmit state.
+
+        Idempotent and safe in every state: after :meth:`result`, after
+        an earlier cancel, and when a late duplicate reply is already
+        queued on the reply port — the GET is released exactly once, no
+        retransmission can fire afterwards, and a reply arriving after
+        cancellation is dropped at the (now silent) wire port instead of
+        leaking a listener-index entry.
+        """
+        self._waits = None
+        self._request = None
+        if self._cancelled or self._reply is not None:
+            return
+        self._cancelled = True
+        self.node.unlisten_wire(self.wire_reply)
 
     def __repr__(self):
         state = "done" if self._reply is not None else "in flight"
@@ -310,6 +603,7 @@ def trans_many(
     expect_signature=None,
     dst_machine=None,
     signature=None,
+    retry=None,
 ):
     """Issue every request with its own fresh reply port, then collect.
 
@@ -329,7 +623,14 @@ def trans_many(
     dest = as_port(dest_port)
     rng = rng or _DEFAULT_RNG
     secrets = _draw_secrets(rng, len(requests))
-    if (
+    if retry is not None:
+        # Retransmitting transactions need per-call backoff state; the
+        # fused lanes below are single-shot by construction, so the
+        # batch rides N AsyncTrans instead (still issued before the
+        # first collect — the pipelining survives, only the bulk-issue
+        # fusion is given up).
+        pass
+    elif (
         type(node) is Nic
         and type(node.network) is SimNetwork
         and node.network._loop is not None
@@ -369,6 +670,7 @@ def trans_many(
                     dst_machine=dst_machine,
                     signature=signature,
                     reply_secret=secret,
+                    retry=retry,
                 )
             )
         return [call.result(timeout) for call in calls]

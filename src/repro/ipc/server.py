@@ -13,7 +13,7 @@ machines (the network round-robins among listeners on a shared port).
 """
 
 import threading
-from collections import Counter
+from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.ports import PrivatePort, as_port
@@ -84,6 +84,130 @@ class DeferredReply:
     def error(self, exc):
         """Send an error reply carrying the exception's wire code."""
         self.send(self.ctx.error(exc))
+
+
+#: In-progress marker inside a ReplyCache: the first copy of the request
+#: is still executing, so a duplicate must be *dropped* (the client's
+#: retransmission loop will ask again), never run a second time.
+_IN_PROGRESS = object()
+
+
+class ReplyCache:
+    """Bounded per-client reply cache: server-side duplicate suppression.
+
+    At-least-once clients (:class:`~repro.ipc.rpc.RetryPolicy`) may
+    retransmit a request whose reply was lost; re-executing it would
+    double-apply any non-idempotent operation (a bank transfer paid
+    twice).  The cache keys each transaction by the pair that is already
+    on the wire:
+
+    * ``frame.src`` — the network-stamped source machine address, which
+      §2.4's hardware assumption makes unforgeable; and
+    * the request's reply put-port ``F(G')`` — fresh per transaction
+      (§2.1's freshness argument) yet identical across retransmissions,
+      because a retry reuses the same reply secret.
+
+    No sequence numbers, no wire-format change.  An intruder replaying a
+    captured frame from its own station presents a *different* ``src``,
+    so it can never touch another principal's entries — and the replay's
+    double-one-wayed capability still fails validation in the handler,
+    exactly as without the cache.
+
+    Both dimensions are LRU-bounded (``clients`` machines x
+    ``per_client`` transactions), so the memory cost is a hard constant;
+    an evicted entry simply means a sufficiently *stale* duplicate
+    re-executes, which is the classic trade-off of bounded dedup.
+
+    States per entry: executing (:data:`_IN_PROGRESS` — duplicates are
+    dropped while the first copy runs, including a deferred reply's open
+    window) and completed (the cached reply is replayed verbatim;
+    error replies replay too — at-least-once applies to outcomes, not
+    just successes).
+    """
+
+    def __init__(self, per_client=128, clients=64):
+        if per_client < 1 or clients < 1:
+            raise ValueError("cache bounds must be at least 1")
+        self.per_client = per_client
+        self.clients = clients
+        # src -> OrderedDict[reply_value -> Message | _IN_PROGRESS],
+        # both levels in LRU order.
+        self._clients = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.busy_drops = 0
+        self.evictions = 0
+
+    def begin(self, src, reply_value):
+        """Admit one request copy; returns ``(verdict, cached_reply)``.
+
+        ``"miss"`` — first sighting; the entry is marked in-progress and
+        the caller must execute the request (and later :meth:`store` or
+        :meth:`forget`).  ``"hit"`` — a completed duplicate; replay the
+        returned reply.  ``"busy"`` — a duplicate of a still-executing
+        request; drop it.
+        """
+        with self._lock:
+            client = self._clients.get(src)
+            if client is None:
+                if len(self._clients) >= self.clients:
+                    self._clients.popitem(last=False)
+                    self.evictions += 1
+                self._clients[src] = client = OrderedDict()
+            else:
+                self._clients.move_to_end(src)
+            cached = client.get(reply_value)
+            if cached is None:
+                if len(client) >= self.per_client:
+                    client.popitem(last=False)
+                    self.evictions += 1
+                client[reply_value] = _IN_PROGRESS
+                self.misses += 1
+                return ("miss", None)
+            if cached is _IN_PROGRESS:
+                self.busy_drops += 1
+                return ("busy", None)
+            client.move_to_end(reply_value)
+            self.hits += 1
+            return ("hit", cached)
+
+    def store(self, src, reply_value, reply):
+        """Complete a transaction: future duplicates replay ``reply``.
+
+        A no-op unless the entry is still present (it may have been
+        LRU-evicted while the handler ran) — storing an unmarked entry
+        would let an unrelated send poison the cache.
+        """
+        with self._lock:
+            client = self._clients.get(src)
+            if client is not None and reply_value in client:
+                client[reply_value] = reply
+
+    def forget(self, src, reply_value):
+        """Withdraw an entry (e.g. an in-progress marker whose deferred
+        reply was abandoned), so a future retry re-executes."""
+        with self._lock:
+            client = self._clients.get(src)
+            if client is not None:
+                client.pop(reply_value, None)
+
+    def stats(self):
+        """Cache counters as a dict (stable keys for benchmarks)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "busy_drops": self.busy_drops,
+                "evictions": self.evictions,
+                "clients": len(self._clients),
+                "entries": sum(len(c) for c in self._clients.values()),
+            }
+
+    def __repr__(self):
+        return "ReplyCache(hits=%d, misses=%d, busy_drops=%d)" % (
+            self.hits, self.misses, self.busy_drops,
+        )
 
 
 class RequestContext:
@@ -189,8 +313,20 @@ class ObjectServer:
         require_sealed=False,
         authorized_signatures=None,
         workers=0,
+        dedup=None,
     ):
         self.node = node
+        #: Optional duplicate suppression for at-least-once clients:
+        #: ``True`` for a default-bounded :class:`ReplyCache`, a
+        #: ReplyCache instance for tuned bounds, None/False (the
+        #: default) for the classic execute-every-copy behavior — the
+        #: fault path stays fully off unless asked for.
+        if dedup is True:
+            self.reply_cache = ReplyCache()
+        elif dedup:
+            self.reply_cache = dedup
+        else:
+            self.reply_cache = None
         self.rng = rng or RandomSource()
         self.scheme = scheme or XorOneWayScheme()
         self.get_port = get_port or PrivatePort.generate(self.rng)
@@ -359,8 +495,40 @@ class ObjectServer:
             )
         return reply
 
+    def _dedup_admit(self, frame, request):
+        """Consult the reply cache for one request copy.
+
+        Returns True when the caller should execute the request: a cache
+        miss (now marked in-progress), or a request with no reply port —
+        a one-way send is not a transaction and is never deduplicated.
+        A hit replays the cached reply; a busy duplicate is dropped.
+        """
+        reply_value = request.reply.value
+        if not reply_value:
+            return True
+        verdict, cached = self.reply_cache.begin(frame.src, reply_value)
+        if verdict == "miss":
+            return True
+        if verdict == "hit":
+            self._replay_reply(frame.src, cached)
+        return False
+
+    def _replay_reply(self, src, cached):
+        """Answer a retried transaction from the cache — the handler does
+        not run again.  ``put`` (the *copying* egress transform) leaves
+        the cached reply pristine for further retries."""
+        if self._pool is not None:
+            with self._egress_lock:
+                self.node.put(cached, src)
+        else:
+            self.node.put(cached, src)
+
     def _handle_frame(self, frame):
         request = frame.message
+        if self.reply_cache is not None and not self._dedup_admit(
+            frame, request
+        ):
+            return
         if self.count_requests:
             self.request_counts[request.command] += 1
         reply = self._dispatch_request(frame, request)
@@ -406,10 +574,24 @@ class ObjectServer:
         count = self.count_requests
         counts = self.request_counts
         signature_port = self._signature_port
+        cache = self.reply_cache
         outbox = []
         out_append = outbox.append
         for frame in frames:
             request = frame.message
+            if cache is not None:
+                reply_value = request.reply.value
+                if reply_value:
+                    verdict, cached = cache.begin(frame.src, reply_value)
+                    if verdict == "busy":
+                        continue
+                    if verdict == "hit":
+                        # Replayed replies ride the same bulk egress as
+                        # fresh ones; the evolve copy keeps the cached
+                        # original pristine under the in-place flush
+                        # transform.
+                        out_append((cached._evolve(), frame.src))
+                        continue
             if count:
                 counts[request.command] += 1
             reply = dispatch(frame, request)
@@ -417,6 +599,10 @@ class ObjectServer:
                 continue  # deferred
             if reply.signature is not signature_port:
                 reply = reply._evolve(signature=signature_port)
+            if cache is not None and request.reply.value:
+                # Store a pristine copy *before* the outbox flush
+                # transforms the outgoing one in place.
+                cache.store(frame.src, request.reply.value, reply._evolve())
             out_append((reply, frame.src))
         if outbox:
             # One bulk unicast for the whole run's replies; a node
@@ -466,9 +652,22 @@ class ObjectServer:
         count = self.count_requests
         counts = self.request_counts
         workers = self.workers
+        cache = self.reply_cache
         buckets = {}
         for frame in frames:
             request = frame.message
+            if cache is not None:
+                # Dedup on the dispatching thread, before the fan-out:
+                # a duplicate must never reach a bucket while (or after)
+                # its first copy executes on another worker.
+                reply_value = request.reply.value
+                if reply_value:
+                    verdict, cached = cache.begin(frame.src, reply_value)
+                    if verdict == "busy":
+                        continue
+                    if verdict == "hit":
+                        self._replay_reply(frame.src, cached)
+                        continue
             if count:
                 counts[request.command] += 1
             capability = request.capability
@@ -513,6 +712,10 @@ class ObjectServer:
             for frame, reply in pairs:
                 if reply.signature is not signature_port:
                     reply = reply._evolve(signature=signature_port)
+                if cache is not None and frame.message.reply.value:
+                    cache.store(
+                        frame.src, frame.message.reply.value, reply._evolve()
+                    )
                 outbox.append((reply, frame.src))
         if outbox:
             with self._egress_lock:
@@ -532,6 +735,15 @@ class ObjectServer:
             # A hand-built handler reply: stamp a private copy, which is
             # then ours to transform in place.
             reply = reply._evolve(signature=self._signature_port)
+        if self.reply_cache is not None:
+            reply_value = frame.message.reply.value
+            if reply_value:
+                # Cache the fully formed (sealed, signed) reply before
+                # put_owned transforms the outgoing copy in place —
+                # deferred replies complete their transaction here too.
+                self.reply_cache.store(
+                    frame.src, reply_value, reply._evolve()
+                )
         if self._pool is not None:
             # A DeferredReply.send() may run on a pool thread while the
             # dispatching thread is mid-egress; serialize the station.

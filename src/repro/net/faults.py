@@ -1,0 +1,370 @@
+"""Deterministic fault injection for every delivery discipline.
+
+The paper's protocol is designed for a network where "messages can be
+lost, duplicated, or corrupted" — yet until this module every simulated
+wire delivered 100% of admitted frames.  A :class:`FaultPlan` is a
+seeded, reproducible adversary-free fault model: per-frame decisions to
+drop, duplicate, corrupt, delay, or reorder, drawn from one private RNG
+in frame order, so the same seed over the same traffic produces the same
+faults on any host.  That is what lets the DES benchmarks assert
+determinism-by-double-run *with* loss, and what gives the at-least-once
+retry layer (:mod:`repro.ipc.rpc`) something real to survive.
+
+Fault semantics per discipline
+------------------------------
+* **drop** — the frame vanishes after admission.  The sender cannot
+  tell: ``send`` still returns its admission verdict (exactly the
+  admitted-then-lost contract queue overflow already has) and the loss
+  shows up only in counters and as a missing reply.
+* **duplicate** — the frame is delivered twice.  On the DES wire each
+  copy gets its own arrival instant; elsewhere the copies are delivered
+  back to back.
+* **corrupt** — one bit of the *packed* frame is flipped, then the
+  frame is re-parsed.  A frame that no longer parses is dropped (a NIC
+  discards a bad checksum); one that parses is delivered corrupted —
+  which is precisely the case capability ``check`` validation exists
+  for.  ``corrupt_field="capability"`` aims the flip at the packed
+  capability's validated fields — object, rights, check — the forgery-
+  relevant threat; ``"frame"`` flips anywhere.
+* **delay** — on the DES wire, ``delay_ms`` extra virtual milliseconds
+  (scaled by a seeded factor in [0.5, 1.5)).  On the untimed
+  disciplines a delayed frame is *held back* and re-injected behind the
+  next frame through the plan — on a wire with no clock, lateness is
+  observable only as overtaking.
+* **reorder** — held back and re-injected behind the next frame, in
+  every discipline.  A held frame with no successor is released by the
+  next send, whenever that is; traffic that simply stops strands it
+  (document-level caveat, the same as a frame delayed past the end of
+  the world).
+
+Per-link overrides: ``links`` maps a source machine address, or a
+``(src, dst)`` pair (``dst`` as stamped on the frame, ``None`` for
+port-addressed sends), to a :class:`FaultSpec` replacing the defaults
+for frames on that link.
+
+The plan is deliberately transport-agnostic: :meth:`apply` works on
+simulator :class:`~repro.net.network.Frame` objects and
+:meth:`apply_datagram` on raw UDP payloads, sharing the same decision
+stream and counters.
+"""
+
+import random
+import threading
+
+from repro.core.capability import PORT_BYTES as _CAP_PORT_BYTES
+from repro.net.message import Message
+
+__all__ = ["FaultSpec", "FaultPlan", "LossyFBox", "faulty_sendto"]
+
+
+class FaultSpec:
+    """Per-link fault probabilities; all default to 0 (a perfect link)."""
+
+    __slots__ = ("drop", "duplicate", "corrupt", "delay", "reorder")
+
+    def __init__(self, drop=0.0, duplicate=0.0, corrupt=0.0, delay=0.0,
+                 reorder=0.0):
+        for name, p in (("drop", drop), ("duplicate", duplicate),
+                        ("corrupt", corrupt), ("delay", delay),
+                        ("reorder", reorder)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("%s probability %r outside [0, 1]" % (name, p))
+        self.drop = drop
+        self.duplicate = duplicate
+        self.corrupt = corrupt
+        self.delay = delay
+        self.reorder = reorder
+
+    @property
+    def silent(self):
+        """True when this spec can never fire (skip all RNG draws)."""
+        return not (self.drop or self.duplicate or self.corrupt
+                    or self.delay or self.reorder)
+
+    def __repr__(self):
+        return ("FaultSpec(drop=%g, duplicate=%g, corrupt=%g, delay=%g, "
+                "reorder=%g)" % (self.drop, self.duplicate, self.corrupt,
+                                 self.delay, self.reorder))
+
+
+class FaultPlan:
+    """One seeded fault schedule shared by a network's frames.
+
+    Thread-safe: decisions are serialized under a lock (the socket
+    transport sends from several threads).  Determinism holds whenever
+    the *traffic order* is deterministic — true by construction on the
+    single-threaded simulators, and exactly the property the DES
+    double-run asserts.
+    """
+
+    def __init__(self, seed=0, drop=0.0, duplicate=0.0, corrupt=0.0,
+                 delay=0.0, reorder=0.0, delay_ms=1.0,
+                 corrupt_field="frame", links=None):
+        if corrupt_field not in ("frame", "capability"):
+            raise ValueError("corrupt_field must be 'frame' or 'capability'")
+        if delay_ms < 0:
+            raise ValueError("delay_ms cannot be negative")
+        self.seed = seed
+        self.default = FaultSpec(drop, duplicate, corrupt, delay, reorder)
+        self.delay_ms = delay_ms
+        self.corrupt_field = corrupt_field
+        #: src address or (src, dst) -> FaultSpec; pair keys win.
+        self.links = dict(links or {})
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        # Frames held back by a reorder/untimed-delay decision, released
+        # behind the next frame that passes through the plan.
+        self._held = []
+        self.reset_stats()
+
+    def reset_stats(self):
+        self.frames_seen = 0
+        self.injected_drops = 0
+        self.injected_duplicates = 0
+        self.injected_corruptions = 0
+        self.corrupt_unparseable = 0
+        self.injected_delays = 0
+        self.injected_reorders = 0
+
+    def stats(self):
+        """Fault counters as a dict (stable keys for benchmarks)."""
+        return {
+            "frames_seen": self.frames_seen,
+            "injected_drops": self.injected_drops,
+            "injected_duplicates": self.injected_duplicates,
+            "injected_corruptions": self.injected_corruptions,
+            "corrupt_unparseable": self.corrupt_unparseable,
+            "injected_delays": self.injected_delays,
+            "injected_reorders": self.injected_reorders,
+        }
+
+    def _spec(self, src, dst):
+        links = self.links
+        if links:
+            spec = links.get((src, dst))
+            if spec is not None:
+                return spec
+            spec = links.get(src)
+            if spec is not None:
+                return spec
+        return self.default
+
+    # ------------------------------------------------------------------
+    # simulator frames
+    # ------------------------------------------------------------------
+
+    def apply(self, frame, des=False):
+        """Fault one frame; returns ``[(frame, extra_delay_seconds), ...]``.
+
+        The list holds every frame to actually transmit *in order*: it
+        may be empty (dropped, or held back), contain a duplicate pair,
+        a corrupted replacement, and/or previously-held frames released
+        behind this one.  ``extra_delay_seconds`` is nonzero only for
+        DES-mode delay faults; the untimed disciplines receive 0.0 and
+        model lateness by the hold-back reordering instead.
+        """
+        with self._lock:
+            self.frames_seen += 1
+            spec = self._spec(frame.src, frame.dst_machine)
+            if spec.silent and not self._held:
+                return [(frame, 0.0)]
+            out = self._decide(frame, spec, des)
+            if self._held and (out or not self._is_held(frame)):
+                # Any frame actually going out drags the held backlog
+                # onto the wire behind it.
+                released = self._held
+                self._held = []
+                out.extend(released)
+            return out
+
+    def _is_held(self, frame):
+        return any(f is frame for f, _ in self._held)
+
+    def _decide(self, frame, spec, des):
+        rng = self._rng
+        if spec.drop and rng.random() < spec.drop:
+            self.injected_drops += 1
+            return []
+        if spec.corrupt and rng.random() < spec.corrupt:
+            self.injected_corruptions += 1
+            corrupted = self._corrupt_message(frame.message)
+            if corrupted is None:
+                self.corrupt_unparseable += 1
+                return []
+            frame = frame._replace(message=corrupted)
+        extra = 0.0
+        if spec.delay and rng.random() < spec.delay:
+            self.injected_delays += 1
+            if des:
+                extra = self.delay_ms / 1000.0 * (0.5 + rng.random())
+            else:
+                self._held.append((frame, 0.0))
+                return []
+        copies = [(frame, extra)]
+        if spec.duplicate and rng.random() < spec.duplicate:
+            self.injected_duplicates += 1
+            if des:
+                copies.append((frame, self.delay_ms / 1000.0 * rng.random()))
+            else:
+                copies.append((frame, 0.0))
+        if spec.reorder and rng.random() < spec.reorder:
+            self.injected_reorders += 1
+            self._held.extend(copies)
+            return []
+        return copies
+
+    def apply_broadcast(self, frame, des=False):
+        """Fault one broadcast frame: drop, corrupt, duplicate, and (on
+        the DES wire) delay only.  Broadcasts never enter the hold-back
+        buffer — a LOCATE must not strand a unicast frame behind it, nor
+        be re-dispatched down a unicast path later."""
+        with self._lock:
+            self.frames_seen += 1
+            spec = self._spec(frame.src, None)
+            if spec.silent:
+                return [(frame, 0.0)]
+            rng = self._rng
+            if spec.drop and rng.random() < spec.drop:
+                self.injected_drops += 1
+                return []
+            if spec.corrupt and rng.random() < spec.corrupt:
+                self.injected_corruptions += 1
+                corrupted = self._corrupt_message(frame.message)
+                if corrupted is None:
+                    self.corrupt_unparseable += 1
+                    return []
+                frame = frame._replace(message=corrupted)
+            extra = 0.0
+            if des and spec.delay and rng.random() < spec.delay:
+                self.injected_delays += 1
+                extra = self.delay_ms / 1000.0 * (0.5 + rng.random())
+            out = [(frame, extra)]
+            if spec.duplicate and rng.random() < spec.duplicate:
+                self.injected_duplicates += 1
+                dup_extra = extra
+                if des:
+                    dup_extra += self.delay_ms / 1000.0 * rng.random()
+                out.append((frame, dup_extra))
+            return out
+
+    def _corrupt_message(self, message):
+        """Flip one bit of the packed frame; None when it no longer parses."""
+        try:
+            raw = bytearray(message.pack())
+        except Exception:
+            return None
+        self._flip(raw)
+        try:
+            return Message.unpack(bytes(raw))
+        except Exception:
+            return None
+
+    def _flip(self, raw):
+        rng = self._rng
+        index = None
+        if self.corrupt_field == "capability":
+            # caplen lives at fixed header offset 38 (see message.py's
+            # struct layout); aim inside the packed capability when the
+            # frame carries one, else fall back to anywhere.  The flip
+            # skips the capability's embedded 6 port bytes: the object
+            # table validates (object, rights, check) and never the
+            # port, so a port flip is routing noise — the forgery-
+            # relevant region is everything after it, and targeting it
+            # is what lets tests assert "a corrupted capability never
+            # validates" as an invariant rather than a probability.
+            caplen = int.from_bytes(raw[38:40], "big")
+            if caplen > _CAP_PORT_BYTES:
+                from repro.net.message import HEADER_BYTES
+
+                index = (HEADER_BYTES + _CAP_PORT_BYTES
+                         + rng.randrange(caplen - _CAP_PORT_BYTES))
+        if index is None:
+            index = rng.randrange(len(raw))
+        raw[index] ^= 1 << rng.randrange(8)
+
+    # ------------------------------------------------------------------
+    # raw datagrams (the sockets transport)
+    # ------------------------------------------------------------------
+
+    def apply_datagram(self, raw, src=None, dst=None):
+        """Fault one packed datagram; returns the list of payloads to
+        actually transmit.  Corruption flips a bit without re-parsing
+        (the receiving node's unpack is the checksum); delay and reorder
+        both hold the datagram back behind the next send — a UDP wrapper
+        has no timers to be late with."""
+        with self._lock:
+            self.frames_seen += 1
+            spec = self._spec(src, dst)
+            held = None
+            if self._held:
+                held = [payload for payload, _ in self._held]
+                self._held = []
+            out = self._decide_datagram(raw, spec)
+            if held:
+                out.extend(held)
+            return out
+
+    def _decide_datagram(self, raw, spec):
+        rng = self._rng
+        if spec.drop and rng.random() < spec.drop:
+            self.injected_drops += 1
+            return []
+        if spec.corrupt and rng.random() < spec.corrupt:
+            self.injected_corruptions += 1
+            flipped = bytearray(raw)
+            self._flip(flipped)
+            raw = bytes(flipped)
+        out = [raw]
+        if spec.duplicate and rng.random() < spec.duplicate:
+            self.injected_duplicates += 1
+            out.append(raw)
+        if spec.delay and rng.random() < spec.delay:
+            self.injected_delays += 1
+            self._held.extend((payload, 0.0) for payload in out)
+            return []
+        if spec.reorder and rng.random() < spec.reorder:
+            self.injected_reorders += 1
+            self._held.extend((payload, 0.0) for payload in out)
+            return []
+        return out
+
+    def __repr__(self):
+        return "FaultPlan(seed=%r, default=%r, links=%d, seen=%d)" % (
+            self.seed,
+            self.default,
+            len(self.links),
+            self.frames_seen,
+        )
+
+
+def faulty_sendto(sock_sendto, plan):
+    """Wrap a socket ``sendto`` so every datagram passes the plan first.
+
+    The lossy seam for :class:`~repro.net.sockets.SocketNode`: the node
+    swaps its transmit function for this wrapper when constructed with a
+    ``faults=`` plan, so every egress path — single puts, aggregate
+    carriers, buffered flushes — is faulted per *datagram*, exactly the
+    unit a real network loses.
+    """
+
+    def sendto(raw, dst):
+        sent = 0
+        for payload in plan.apply_datagram(raw, dst=dst):
+            sent = sock_sendto(payload, dst)
+        return sent
+
+    return sendto
+
+
+class LossyFBox:
+    """Deprecated-name guard: the lossy seam is :func:`faulty_sendto`.
+
+    Kept so stale imports fail with a message instead of an
+    AttributeError deep in a benchmark run.
+    """
+
+    def __init__(self, *a, **k):
+        raise TypeError(
+            "faults are injected per datagram via SocketNode(faults=plan) "
+            "/ faulty_sendto, not by wrapping the FBox"
+        )

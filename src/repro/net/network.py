@@ -76,7 +76,11 @@ class SimNetwork:
     """
 
     def __init__(self, synchronous=True, max_queue_depth=0, auto_drain=True,
-                 clock=None, latency=None):
+                 clock=None, latency=None, faults=None):
+        #: Optional :class:`~repro.net.faults.FaultPlan`; None (the
+        #: default) keeps every hot path exactly as before — the fault
+        #: plane costs one ``is None`` test per send when disabled.
+        self._faults = faults
         self._nics = {}
         self._addresses = itertools.count(1)
         self._taps = []
@@ -246,6 +250,8 @@ class SimNetwork:
         if self._taps:
             for tap in self._taps:
                 tap(frame)
+        if self._faults is not None:
+            return self._send_faulty(frame)
         if self._loop is not None:
             if self._clock is not None:
                 return self._send_des(frame)
@@ -342,6 +348,46 @@ class SimNetwork:
         self._loop.schedule(frame)
         return True
 
+    def _send_faulty(self, frame):
+        """Fault-injection tail of :meth:`send`.
+
+        The return value is the *admission* verdict for the pristine
+        frame — computed before the plan fires, so a frame the plan then
+        drops is "admitted, then lost", exactly the contract queue
+        overflow already has: the sender cannot tell a lossy wire from a
+        full buffer.  Each surviving copy (duplicates, corrupted
+        replacements, released held-back frames) is dispatched through
+        the frame's normal discipline path.
+        """
+        admitted = self._admits(frame)
+        des = self._clock is not None
+        for out, extra in self._faults.apply(frame, des=des):
+            self._dispatch_faulty(out, extra)
+        return admitted
+
+    def _admits(self, frame):
+        """Would any station take this frame?  One routing-index lookup."""
+        if frame.dst_machine is not None:
+            nic = self._nics.get(frame.dst_machine)
+            return nic is not None and frame.message.dest in nic._sinks
+        return frame.message.dest in self._listeners
+
+    def _dispatch_faulty(self, frame, extra):
+        """Put one post-fault frame on its discipline's delivery path."""
+        if self._clock is not None:
+            if self._admits(frame):
+                self._loop.schedule(frame, extra=extra)
+            else:
+                self.frames_dropped += 1
+            return
+        if self._loop is not None:
+            self._send_deferred(frame)
+            return
+        if self._deliver_frame(frame):
+            self.frames_delivered += 1
+        else:
+            self.frames_dropped += 1
+
     def _deliver_frame(self, frame):
         """Deliver one frame *now*, re-checking admission against the live
         filters — the dispatch arm shared by the virtual-time loop.  The
@@ -384,9 +430,10 @@ class SimNetwork:
         if not messages:
             return 0
         loop = self._loop
-        if loop is None:
-            # Synchronous network: no queue to batch onto; per-frame
-            # delivery keeps the recursive semantics.
+        if loop is None or self._faults is not None:
+            # Synchronous network (no queue to batch onto) or a faulty
+            # wire (every frame must pass the plan individually, in send
+            # order): per-frame delivery keeps the respective semantics.
             accepted = 0
             for message in messages:
                 if self.send(src_nic, message, dst_machine):
@@ -431,10 +478,11 @@ class SimNetwork:
         only hoists the per-call setup.  Returns the number accepted.
         """
         loop = self._loop
-        if loop is None or self._taps or self._clock is not None:
-            # Synchronous, tapped, or DES delivery: per-frame send keeps
-            # the respective semantics (recursion, tap order, or one
-            # arrival instant per reply).
+        if (loop is None or self._taps or self._clock is not None
+                or self._faults is not None):
+            # Synchronous, tapped, DES, or faulty delivery: per-frame
+            # send keeps the respective semantics (recursion, tap order,
+            # one arrival instant per reply, or per-frame fault draws).
             accepted = 0
             for message, dst in pairs:
                 if self.send(src_nic, message, dst):
@@ -518,17 +566,24 @@ class SimNetwork:
         self.broadcasts += 1
         for tap in self._taps:
             tap(frame)
-        if self._clock is not None:
-            self._loop.schedule(frame, broadcast=True)
+        des = self._clock is not None
+        if self._faults is not None:
+            copies = self._faults.apply_broadcast(frame, des=des)
+        else:
+            copies = ((frame, 0.0),)
+        if des:
+            for out, extra in copies:
+                self._loop.schedule(out, broadcast=True, extra=extra)
             return len(self._nics) - (src_nic.address in self._nics)
         stations = self._sorted_stations
         if stations is None:
             stations = self._sorted_stations = sorted(self._nics.items())
         count = 0
         src = src_nic.address
-        for addr, nic in stations:
-            if addr != src and nic.accept_broadcast(frame):
-                count += 1
+        for out, _ in copies:
+            for addr, nic in stations:
+                if addr != src and nic.accept_broadcast(out):
+                    count += 1
         self.frames_delivered += count
         return count
 
@@ -560,6 +615,12 @@ class SimNetwork:
         """The :class:`~repro.net.sched.LatencyModel`, or None outside
         DES mode."""
         return self._latency
+
+    @property
+    def faults(self):
+        """The :class:`~repro.net.faults.FaultPlan`, or None on a
+        perfect wire (the default)."""
+        return self._faults
 
     @property
     def pending(self):
@@ -632,6 +693,8 @@ class SimNetwork:
         }
         if self._loop is not None:
             counters["scheduler"] = self._loop.stats()
+        if self._faults is not None:
+            counters["faults"] = self._faults.stats()
         return counters
 
     def __repr__(self):

@@ -466,9 +466,15 @@ class VirtualTimeLoop:
     # ingress (called by SimNetwork)
     # ------------------------------------------------------------------
 
-    def schedule(self, frame, broadcast=False):
-        """Give one frame an arrival instant; returns that instant."""
-        arrival = self.clock.now + self.latency.delay(frame)
+    def schedule(self, frame, broadcast=False, extra=0.0):
+        """Give one frame an arrival instant; returns that instant.
+
+        ``extra`` adds virtual seconds on top of the latency model — the
+        hook fault-injected delays (:mod:`repro.net.faults`) use, so a
+        delayed frame consumes simulated time exactly like a slow link
+        would, and the run stays deterministic.
+        """
+        arrival = self.clock.now + self.latency.delay(frame) + extra
         self._seq += 1
         heappush(self._events, (arrival, self._seq, broadcast, frame))
         self.scheduled += 1

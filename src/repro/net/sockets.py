@@ -105,11 +105,21 @@ class SocketNode:
     _POLL_INTERVAL = 0.1
 
     def __init__(self, fbox=None, bind_host="127.0.0.1", buffer_egress=False,
-                 flush_every=32, recv_batch=32):
+                 flush_every=32, recv_batch=32, faults=None):
         self.fbox = fbox or FBox()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((bind_host, 0))
         self._sock.settimeout(self._POLL_INTERVAL)
+        #: Optional FaultPlan; every egress datagram — plain frames and
+        #: aggregate carriers alike — passes through it.  None keeps the
+        #: transmit function the raw socket sendto, costing nothing.
+        self.faults = faults
+        if faults is not None:
+            from repro.net.faults import faulty_sendto
+
+            self._sendto = faulty_sendto(self._sock.sendto, faults)
+        else:
+            self._sendto = self._sock.sendto
         self.recv_batch = recv_batch
         self.address = self._sock.getsockname()
         self._queues = {}
@@ -179,11 +189,11 @@ class SocketNode:
                 self.flush_egress()
             return True if dst_machine is not None else bool(self._peer_snapshot)
         if dst_machine is not None:
-            self._sock.sendto(raw, dst_machine)
+            self._sendto(raw, dst_machine)
             return True
         peers = self._peer_snapshot
         for peer in peers:
-            self._sock.sendto(raw, peer)
+            self._sendto(raw, peer)
         return bool(peers)
 
     # Same signature as Nic.put_owned; serialisation makes the copy
@@ -200,7 +210,7 @@ class SocketNode:
         difference between pipelining amortizing the kernel crossings
         and merely reordering them.
         """
-        sendto = self._sock.sendto
+        sendto = self._sendto
         if len(raws) == 1:
             sendto(raws[0], dst)
             return
@@ -293,7 +303,7 @@ class SocketNode:
             self.flush_egress()
         transform = self.fbox.transform_egress
         pack = self._pack_for_wire
-        sendto = self._sock.sendto
+        sendto = self._sendto
         peers = self._peer_snapshot
         count = 0
         for message in messages:
