@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke bench-recovery-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -41,3 +41,10 @@ bench-shard-smoke:
 ## crash recovery succeeds, and retried transfers are exactly-once.
 bench-fault-smoke:
 	$(PYTHON) benchmarks/bench_fault.py --smoke
+
+## Durability suite: asserts WAL overhead on the echo workload stays
+## <= 15%, kill-and-reboot (power failure mid-snapshot, respawn on the
+## same disk) recovers every entry with zero double-executions, and the
+## scenario is deterministic by double run.
+bench-recovery-smoke:
+	$(PYTHON) benchmarks/bench_recovery.py --smoke

@@ -130,6 +130,7 @@ class ObjectTable:
         max_objects=1 << OBJECT_BITS,
         default_lifetime=None,
         shards=DEFAULT_SHARDS,
+        wal=None,
     ):
         if max_objects < 1 or max_objects > (1 << OBJECT_BITS):
             raise ValueError("max_objects must be in [1, 2**24]")
@@ -137,6 +138,11 @@ class ObjectTable:
             raise ValueError("default_lifetime must be >= 1 sweeps")
         if shards < 1 or shards & (shards - 1):
             raise ValueError("shards must be a power of two >= 1")
+        if wal is not None and wal.shards != shards:
+            raise ValueError(
+                "durable store has %d stripes but the table has %d shards"
+                % (wal.shards, shards)
+            )
         self.scheme = scheme
         self.port = port
         self._rng = rng or RandomSource()
@@ -146,6 +152,12 @@ class ObjectTable:
         #: keep no record of capability holders cannot refcount, so
         #: objects not touched for N sweeps are presumed garbage.
         self.default_lifetime = default_lifetime
+        #: Optional write-ahead log (:class:`~repro.disk.wal.DurableStore`
+        #: duck type): every mutation that survives this table's process —
+        #: create, refresh, destroy, aging expiry — is appended to the
+        #: owning stripe's log *under the stripe lock the mutation already
+        #: holds*, so durability adds no cross-shard serialization.
+        self._wal = wal
         self._shards = [_Shard(i, shards) for i in range(shards)]
         self._mask = shards - 1
         # Round-robin cursor for fresh allocation (itertools.count is a
@@ -259,6 +271,8 @@ class ObjectTable:
         )
         with shard.lock:
             shard.entries[number] = entry
+            if self._wal is not None:
+                self._wal.log_create(shard.index, entry)
         rights_field, check = self.scheme.mint(secret, Rights(rights))
         return Capability(
             port=self.port, object=number, rights=rights_field, check=check
@@ -423,6 +437,8 @@ class ObjectTable:
             entry.verified.clear()
             secret = entry.secret
             generation = entry.generation
+            if self._wal is not None:
+                self._wal.log_refresh(shard.index, number, secret, generation)
         self._notify_revocation(number, generation, shard.index)
         rights_field, check = self.scheme.mint(secret, ALL_RIGHTS)
         return Capability(
@@ -441,6 +457,8 @@ class ObjectTable:
             del shard.entries[entry.number]
             shard.free_numbers.append(entry.number)
             generation = entry.generation
+            if self._wal is not None:
+                self._wal.log_destroy(shard.index, entry.number)
         self._recycle_hints.append(shard.index)
         self._notify_revocation(entry.number, generation, shard.index)
         return entry.data
@@ -481,6 +499,8 @@ class ObjectTable:
                 for entry in doomed:
                     del shard.entries[entry.number]
                     shard.free_numbers.append(entry.number)
+                    if self._wal is not None:
+                        self._wal.log_destroy(shard.index, entry.number)
                 expired.extend(doomed)
         for entry in expired:
             shard_index = entry.number & self._mask
@@ -489,6 +509,66 @@ class ObjectTable:
                 on_expire(entry)
             self._notify_revocation(entry.number, entry.generation, shard_index)
         return expired
+
+    # ------------------------------------------------------------------
+    # durability hooks (no-ops without a write-ahead log)
+    # ------------------------------------------------------------------
+
+    def stripe_locked(self, index, fn):
+        """Run ``fn(entries)`` while holding stripe ``index``'s lock.
+
+        This is the snapshot primitive: the durable store encodes a
+        stripe's rows *and* captures the log's replay position under a
+        single continuous hold, which is what proves every log record
+        before the position redundant with the snapshot.
+        """
+        shard = self._shards[index]
+        with shard.lock:
+            return fn(shard.entries)
+
+    def persist(self, number):
+        """Re-log an object's data payload after a server mutated it.
+
+        Servers holding durable state inside ``entry.data`` (the
+        directory server's name map) call this after each mutation; the
+        UPDATE record is appended under the owning stripe's lock, so it
+        is ordered exactly against create/refresh/destroy and against
+        snapshot position capture.  A no-op without a WAL.
+        """
+        if self._wal is None:
+            return
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            entry = shard.entries.get(number)
+            if entry is None:
+                raise NoSuchObject("no object %d on this server" % number)
+            self._wal.log_update(shard.index, number, entry.data)
+
+    def log_commit(self, number, src, reply_value, reply_raw):
+        """Append a transaction-commit record to ``number``'s stripe log.
+
+        Taken under the stripe lock for the same reason as
+        :meth:`persist`: a commit must never slip between a snapshot's
+        entry encoding and its position capture, or truncation would
+        silently drop it.  A no-op without a WAL.
+        """
+        if self._wal is None:
+            return
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            self._wal.log_commit(shard.index, src, reply_value, reply_raw)
+
+    def restore_entry(self, entry):
+        """Install a recovered row, bypassing the WAL (recovery must not
+        re-log what it replays).  Fresh-number allocation is advanced
+        past the recovered number so post-reboot creates cannot collide
+        with rows that were live before the crash."""
+        number = entry.number
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            shard.entries[number] = entry
+            if shard.fresh_number <= number:
+                shard.fresh_number = number + shard.step
 
     def mint_for(self, number, rights=ALL_RIGHTS):
         """Mint a capability for an existing object *without* validation.

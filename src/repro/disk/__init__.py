@@ -1,5 +1,15 @@
-"""Storage substrate: the virtual disk behind the §3 storage servers."""
+"""Storage substrate: the virtual disk behind the §3 storage servers,
+plus the write-ahead log / snapshot store and disk fault injection that
+give object tables a life across reboots."""
 
+from repro.disk.diskfaults import DiskFaultPlan
 from repro.disk.virtualdisk import VirtualDisk
+from repro.disk.wal import DurableStore, RecoveryReport, StripeLog
 
-__all__ = ["VirtualDisk"]
+__all__ = [
+    "VirtualDisk",
+    "DiskFaultPlan",
+    "DurableStore",
+    "RecoveryReport",
+    "StripeLog",
+]

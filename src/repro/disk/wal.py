@@ -1,0 +1,838 @@
+"""Per-stripe write-ahead logging and reboot recovery for object tables.
+
+Every server's :class:`~repro.core.registry.ObjectTable` dies with its
+process; this module gives it a disk life.  The design follows the
+table's own sharding: **one append-only log per stripe**, so ``create``
+/ ``refresh`` / ``destroy`` append under the stripe lock the operation
+already holds and logging never serializes cross-shard traffic.
+Periodic per-stripe snapshots bound each log's length — a snapshot
+encodes the stripe's rows and captures the log's *replay position*
+under one stripe acquisition, commits the new superblock, and only then
+frees the log blocks before that position.  Nothing acked is ever lost
+by truncation, and no instant exists at which the whole table is
+locked.
+
+On-disk layout (over a :class:`~repro.disk.virtualdisk.VirtualDisk`):
+
+* **Superblock** — dual slots at blocks 0 and 1, written alternately
+  with a monotonically increasing epoch and a CRC; the highest *valid*
+  epoch wins at attach, so a torn superblock write simply loses to the
+  previous commit.  Per stripe it records the snapshot chain head, the
+  log chain head, and the replay offset within that head block.
+* **Block chains** — each snapshot and each log is a singly linked
+  chain: ``[4B next | 0xFFFFFFFF][2B used]`` then payload.  Records
+  span block boundaries, so block size never bounds record size.
+* **Records** — ``[1B magic 0xA5][4B length][4B crc32]`` + payload.
+  The CRC is what detects a *torn* tail; a whole lost block at the tail
+  is deliberately undetectable (the log is shorter but clean) and
+  recovery then yields a consistent-but-older state — clients holding
+  capabilities for the lost objects get ``NoSuchObject`` and re-create
+  through the retry + re-locate path.
+
+Recovery (:meth:`DurableStore.recover`, driven by
+``ObjectServer.reboot()``) replays snapshot + log per stripe.  A stripe
+whose tail is *suspect* (bad magic, bad CRC, truncated record, broken
+chain) keeps its parsed prefix but has every secret regenerated and
+every generation bumped — exactly the paper's revocation move: when the
+server cannot prove its table wasn't tampered with, it re-keys, old
+capabilities fail §2.2 check validation, and clients refresh.  Commit
+records (server-side dedup state, see ``ObjectServer``) are replayed
+only from clean stripes; a suspect stripe's transactions re-execute,
+which is coherent because their effects are exactly what the torn tail
+lost.
+"""
+
+import struct
+import threading
+import zlib
+
+from repro.core.registry import DEFAULT_SHARDS, ObjectEntry
+from repro.crypto.randomsrc import RandomSource
+from repro.disk.virtualdisk import VirtualDisk
+from repro.errors import DiskFault
+
+__all__ = ["DurableStore", "StripeLog", "RecoveryReport", "DefaultCodec"]
+
+#: "No block" sentinel in chain next-pointers and snapshot heads.
+NO_BLOCK = 0xFFFFFFFF
+
+# Chain block header: next block, used payload bytes, and a 16-bit CRC
+# over those six bytes.  The header CRC is what keeps a *torn* header
+# from being believed: without it a garbage ``next`` could walk a scan
+# into some other stripe's live blocks — and tail truncation would then
+# free blocks it does not own.
+_CHAIN_HEADER = struct.Struct(">IHH")
+_RECORD_HEAD = struct.Struct(">BII")  # magic, payload length, crc32
+_RECORD_MAGIC = 0xA5
+
+_SB_SLOTS = (0, 1)
+_SB_MAGIC = b"AWAL"
+_SB_VERSION = 1
+_SB_HEAD = struct.Struct(">4sBBQI")  # magic, version, shards, epoch, crc
+_SB_STRIPE = struct.Struct(">III")  # snapshot head, log head, replay offset
+
+# Record operation tags.
+OP_ENTRY = 1  # full row image: create *and* snapshot records
+OP_REFRESH = 2
+OP_DESTROY = 3
+OP_UPDATE = 4  # re-logged row payload (a durable server mutated data)
+OP_COMMIT = 5  # completed transaction: (src, reply port, packed reply)
+
+
+def _crc(payload):
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def _pack_chain_header(buf, nxt, used):
+    hcrc = zlib.crc32(struct.pack(">IH", nxt, used)) & 0xFFFF
+    _CHAIN_HEADER.pack_into(buf, 0, nxt, used, hcrc)
+
+
+def _parse_chain_header(raw):
+    """Returns ``(next, used, header_ok)``."""
+    nxt, used, hcrc = _CHAIN_HEADER.unpack_from(raw)
+    ok = (zlib.crc32(raw[:6]) & 0xFFFF) == hcrc
+    return nxt, used, ok
+
+
+def _free_chain(disk, head, stop=NO_BLOCK):
+    """Free a chain's blocks from ``head`` up to (excluding) ``stop``.
+
+    Stops (leaking, for the attach-time reclaimer) rather than freeing
+    through a block whose header does not verify.
+    """
+    freed = 0
+    block_no = head
+    while block_no != stop and block_no != NO_BLOCK:
+        raw = disk.read(block_no)
+        nxt, _, ok = _parse_chain_header(raw)
+        disk.free(block_no)
+        freed += 1
+        if not ok:
+            break
+        block_no = nxt
+    return freed
+
+
+class StripeLog:
+    """One append-only record stream over a chain of disk blocks.
+
+    Appends are buffered per tail block: each record costs one or two
+    whole-block writes (two when it rolls into a fresh block).  The
+    internal lock only orders appends against concurrent
+    :meth:`tail_position` / :meth:`truncate_front`; callers in the
+    object table already hold their stripe lock, which is what makes
+    the position capture in a snapshot exact.
+    """
+
+    def __init__(self, disk, head=None, tail=None, tail_used=0):
+        self.disk = disk
+        self.lock = threading.Lock()
+        self.capacity = disk.block_size - _CHAIN_HEADER.size
+        if self.capacity < 1:
+            raise ValueError("block size too small for chain blocks")
+        self.records_appended = 0
+        if head is None:
+            head = disk.allocate()
+            self.head = head
+            self.tail = head
+            self.tail_used = 0
+            self._tail_buf = bytearray(disk.block_size)
+            self._flush_tail()  # an unwritten head must not scan as torn
+        else:
+            self.head = head
+            self.tail = tail if tail is not None else head
+            self.tail_used = tail_used
+            self._tail_buf = bytearray(disk.read(self.tail))
+
+    def append(self, payload):
+        """Durably append one record (framed, CRC-protected)."""
+        if not payload:
+            raise ValueError("cannot append an empty record")
+        record = (
+            _RECORD_HEAD.pack(_RECORD_MAGIC, len(payload), _crc(payload))
+            + payload
+        )
+        with self.lock:
+            view = memoryview(record)
+            while view:
+                space = self.capacity - self.tail_used
+                if space == 0:
+                    self._roll()
+                    space = self.capacity
+                n = min(space, len(view))
+                start = _CHAIN_HEADER.size + self.tail_used
+                self._tail_buf[start:start + n] = view[:n]
+                self.tail_used += n
+                view = view[n:]
+            self._flush_tail()
+            self.records_appended += 1
+
+    def _roll(self):
+        """The tail block is full: link in a fresh one.
+
+        The old tail is written *with* its forward pointer before the
+        new block ever exists on disk; a crash between the two writes
+        leaves a pointer to an unwritten block, which the scanner reads
+        as zeros — an invalid pointer (block 0 is a superblock slot) —
+        and treats as a torn tail, truncating cleanly.
+        """
+        new = self.disk.allocate()
+        _pack_chain_header(self._tail_buf, new, self.capacity)
+        self.disk.write(self.tail, bytes(self._tail_buf))
+        self.tail = new
+        self.tail_used = 0
+        self._tail_buf = bytearray(self.disk.block_size)
+
+    def _flush_tail(self):
+        _pack_chain_header(self._tail_buf, NO_BLOCK, self.tail_used)
+        self.disk.write(self.tail, bytes(self._tail_buf))
+
+    def tail_position(self):
+        """The current append position ``(block, payload offset)`` — the
+        replay position a snapshot records."""
+        with self.lock:
+            return (self.tail, self.tail_used)
+
+    def truncate_front(self, new_head):
+        """Free every chain block before ``new_head`` (a snapshot just
+        made them redundant)."""
+        with self.lock:
+            old_head, self.head = self.head, new_head
+        return _free_chain(self.disk, old_head, stop=new_head)
+
+
+class _ChainScan:
+    """What reading one chain back yields."""
+
+    __slots__ = ("records", "suspect", "chain", "cut_index", "cut_offset")
+
+    def __init__(self):
+        self.records = []
+        self.suspect = False
+        self.chain = []  # (block_no, used, payload[:used])
+        self.cut_index = 0
+        self.cut_offset = 0
+
+    @property
+    def kept_blocks(self):
+        if self.suspect:
+            return [b[0] for b in self.chain[: self.cut_index + 1]]
+        return [b[0] for b in self.chain]
+
+
+def _scan_chain(disk, head, start_offset=0):
+    """Parse a chain's records; tolerant of every torn-tail shape.
+
+    Any structural damage — unparsable pointer, clamped ``used``, bad
+    record magic, CRC mismatch, record running past the stream — marks
+    the scan *suspect* and computes the cut: the (block index, payload
+    offset) where the clean record prefix ends.
+    """
+    scan = _ChainScan()
+    capacity = disk.block_size - _CHAIN_HEADER.size
+    block_no = head
+    seen = set()
+    while True:
+        if block_no in seen or not (len(_SB_SLOTS) <= block_no < disk.n_blocks):
+            scan.suspect = True
+            break
+        seen.add(block_no)
+        raw = disk.read(block_no)
+        nxt, used, header_ok = _parse_chain_header(raw)
+        torn_header = not header_ok or used > capacity
+        if torn_header:
+            # A torn header's fields are garbage: believe neither the
+            # forward pointer nor ``used`` — salvage what the record
+            # CRCs can prove from the full payload area, follow nothing.
+            used = capacity
+            scan.suspect = True
+        payload = raw[_CHAIN_HEADER.size: _CHAIN_HEADER.size + used]
+        scan.chain.append((block_no, used, payload))
+        if torn_header or nxt == NO_BLOCK:
+            break
+        block_no = nxt
+    if not scan.chain:
+        return scan  # head pointer itself unusable
+    # Assemble the record stream and remember where each block's
+    # contribution starts, to map the cut back to a block offset.
+    stream = bytearray()
+    starts = []
+    for i, (_, _, payload) in enumerate(scan.chain):
+        starts.append(len(stream))
+        skip = start_offset if i == 0 else 0
+        stream.extend(payload[skip:])
+    pos = 0
+    total = len(stream)
+    while pos < total:
+        if total - pos < _RECORD_HEAD.size:
+            scan.suspect = True
+            break
+        magic, length, crc = _RECORD_HEAD.unpack_from(stream, pos)
+        body = pos + _RECORD_HEAD.size
+        if magic != _RECORD_MAGIC or total - body < length:
+            scan.suspect = True
+            break
+        payload = bytes(stream[body: body + length])
+        if _crc(payload) != crc:
+            scan.suspect = True
+            break
+        scan.records.append(payload)
+        pos = body + length
+    # Cut: the latest block whose contribution starts at or before the
+    # clean prefix's end.
+    cut_index = 0
+    for i, start in enumerate(starts):
+        if start <= pos:
+            cut_index = i
+    scan.cut_index = cut_index
+    scan.cut_offset = (pos - starts[cut_index]) + (
+        start_offset if cut_index == 0 else 0
+    )
+    return scan
+
+
+class _Reader:
+    """Cursor over one record payload; raises ValueError when short."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n):
+        end = self.pos + n
+        if end > len(self.buf):
+            raise ValueError("record payload too short")
+        out = self.buf[self.pos: end]
+        self.pos = end
+        return out
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def uint(self, n):
+        return int.from_bytes(self.take(n), "big")
+
+
+def _pack_secret(secret):
+    """Secrets are ints (simple/XOR/commutative schemes) or bytes
+    (encrypted scheme); tag so recovery restores the right type."""
+    if isinstance(secret, bool) or not isinstance(
+        secret, (int, bytes, bytearray)
+    ):
+        raise TypeError("cannot log secret of type %s" % type(secret).__name__)
+    if isinstance(secret, int):
+        raw = secret.to_bytes((secret.bit_length() + 7) // 8 or 1, "big")
+        tag = 0
+    else:
+        raw = bytes(secret)
+        tag = 1
+    return bytes([tag]) + len(raw).to_bytes(2, "big") + raw
+
+
+def _unpack_secret(reader):
+    tag = reader.u8()
+    raw = bytes(reader.take(reader.uint(2)))
+    if tag == 0:
+        return int.from_bytes(raw, "big")
+    if tag == 1:
+        return raw
+    raise ValueError("unknown secret tag %d" % tag)
+
+
+class DefaultCodec:
+    """Data codec for the common primitive payloads.
+
+    Servers storing richer objects supply their own codec (see
+    ``DirectoryCodec`` in :mod:`repro.servers.directory`) — the store
+    never pickles, so what lands on disk is an explicit, versionable
+    format.
+    """
+
+    def encode(self, data):
+        if data is None:
+            return b"\x00"
+        if isinstance(data, (bytes, bytearray)):
+            return b"\x01" + bytes(data)
+        if isinstance(data, str):
+            return b"\x02" + data.encode("utf-8")
+        if isinstance(data, bool):
+            return b"\x04" + (b"\x01" if data else b"\x00")
+        if isinstance(data, int):
+            return b"\x03" + str(data).encode("ascii")
+        raise TypeError(
+            "DefaultCodec cannot encode %s; give the DurableStore a codec"
+            % type(data).__name__
+        )
+
+    def decode(self, raw):
+        if not raw:
+            raise ValueError("empty data payload")
+        tag, body = raw[0], raw[1:]
+        if tag == 0:
+            return None
+        if tag == 1:
+            return bytes(body)
+        if tag == 2:
+            return body.decode("utf-8")
+        if tag == 3:
+            return int(body.decode("ascii"))
+        if tag == 4:
+            return body == b"\x01"
+        raise ValueError("unknown data tag %d" % tag)
+
+
+class RecoveryReport:
+    """What one :meth:`DurableStore.recover` pass found and rebuilt."""
+
+    def __init__(self):
+        self.entries_restored = 0
+        self.records_replayed = 0
+        self.suspect_stripes = []
+        self.secrets_regenerated = 0
+        #: (src, reply port value) -> packed reply bytes, from clean
+        #: stripes only; ``ObjectServer.reboot()`` seeds its ReplyCache
+        #: from these so retries straddling the crash replay instead of
+        #: re-executing.
+        self.commits = {}
+        self.blocks_reclaimed = 0
+
+    def as_dict(self):
+        return {
+            "entries_restored": self.entries_restored,
+            "records_replayed": self.records_replayed,
+            "suspect_stripes": list(self.suspect_stripes),
+            "secrets_regenerated": self.secrets_regenerated,
+            "commits": len(self.commits),
+            "blocks_reclaimed": self.blocks_reclaimed,
+        }
+
+    def __repr__(self):
+        return "RecoveryReport(%r)" % (self.as_dict(),)
+
+
+class DurableStore:
+    """Write-ahead log + snapshots for one object table, on one disk.
+
+    Constructing on a blank disk *formats* it (reserving the two
+    superblock slots); constructing on a disk that carries a valid
+    superblock *attaches*, scanning every chain and holding the parsed
+    state until :meth:`recover` replays it into a table — until then
+    ``needs_recovery`` is True and ``ObjectServer.start()`` refuses to
+    serve, so un-recovered state can never be silently overwritten.
+
+    Concurrency contract: the table calls ``log_*`` under the owning
+    stripe's lock (that ordering is what makes snapshot positions
+    exact); :meth:`snapshot` takes each stripe lock briefly via
+    ``ObjectTable.stripe_locked`` and never stops the world.
+    """
+
+    def __init__(self, disk=None, codec=None, shards=DEFAULT_SHARDS):
+        self.disk = disk if disk is not None else VirtualDisk(4096)
+        self.codec = codec if codec is not None else DefaultCodec()
+        self._lock = threading.Lock()  # serializes snapshot + superblock
+        self._dirty = threading.local()  # per-thread wrote-since-reply flag
+        self.snapshots_taken = 0
+        self.blocks_reclaimed = 0
+        self._pending = None
+        if self.disk.is_written(_SB_SLOTS[0]) or self.disk.is_written(
+            _SB_SLOTS[1]
+        ):
+            self._attach()
+        else:
+            self._format(shards)
+
+    # ------------------------------------------------------------------
+    # format / attach
+    # ------------------------------------------------------------------
+
+    def _format(self, shards):
+        if shards < 1 or shards > 255 or shards & (shards - 1):
+            raise ValueError("shards must be a power of two in [1, 255]")
+        # Two superblock slots, one log head per stripe, and at least a
+        # little room for snapshot chains.
+        if self.disk.n_blocks < len(_SB_SLOTS) + 2 * shards:
+            raise ValueError(
+                "disk too small: %d stripes need at least %d blocks"
+                % (shards, len(_SB_SLOTS) + 2 * shards)
+            )
+        self.shards = shards
+        for slot in _SB_SLOTS:
+            self.disk.reserve(slot)
+        self.epoch = 0
+        self._logs = [StripeLog(self.disk) for _ in range(shards)]
+        self._snapshots = [NO_BLOCK] * shards
+        self._positions = [(log.head, 0) for log in self._logs]
+        self.needs_recovery = False
+        self._commit_superblock()
+
+    def _attach(self):
+        best = None
+        for slot in _SB_SLOTS:
+            parsed = self._read_superblock(slot)
+            if parsed is not None and (best is None or parsed[0] > best[0]):
+                best = parsed
+        if best is None:
+            raise DiskFault("no valid superblock on this disk")
+        self.epoch, self.shards, stripes = best
+        reachable = set(_SB_SLOTS)
+        self._logs = []
+        self._snapshots = []
+        self._positions = []
+        pending = []
+        for snap_head, log_head, log_offset in stripes:
+            suspect = False
+            snap_records = []
+            if snap_head != NO_BLOCK:
+                snap_scan = _scan_chain(self.disk, snap_head)
+                snap_records = snap_scan.records
+                suspect |= snap_scan.suspect
+                reachable.update(snap_scan.kept_blocks)
+            scan = _scan_chain(self.disk, log_head, log_offset)
+            suspect |= scan.suspect
+            reachable.update(scan.kept_blocks)
+            if scan.suspect and scan.chain:
+                self._truncate_torn(scan)
+            if scan.chain:
+                tail_no, tail_used, _ = scan.chain[scan.cut_index]
+                if scan.suspect:
+                    tail_used = scan.cut_offset
+                log = StripeLog(
+                    self.disk, head=log_head, tail=tail_no, tail_used=tail_used
+                )
+            else:
+                # The head block itself was unusable: start a fresh log.
+                log = StripeLog(self.disk)
+                log_head = log.head
+                log_offset = 0
+                reachable.add(log.head)
+            self._logs.append(log)
+            self._snapshots.append(snap_head)
+            self._positions.append((log_head, log_offset))
+            pending.append((snap_records, scan.records, suspect))
+        # A power-failed snapshot can leave blocks allocated but linked
+        # into nothing the superblock knows; reclaim them.
+        leaked = self.disk.allocated_blocks() - reachable
+        for block_no in sorted(leaked):
+            self.disk.free(block_no)
+        self.blocks_reclaimed = len(leaked)
+        self._pending = pending
+        self.needs_recovery = True
+
+    def _truncate_torn(self, scan):
+        """Rewrite the torn chain's last clean block (cleared forward
+        pointer, clean prefix length) and free the damaged tail, so the
+        next scan and future appends agree on where the log ends."""
+        block_no, used, payload = scan.chain[scan.cut_index]
+        buf = bytearray(self.disk.block_size)
+        _pack_chain_header(buf, NO_BLOCK, scan.cut_offset)
+        keep = payload[: scan.cut_offset]
+        buf[_CHAIN_HEADER.size: _CHAIN_HEADER.size + len(keep)] = keep
+        self.disk.write(block_no, bytes(buf))
+        for doomed, _, _ in scan.chain[scan.cut_index + 1:]:
+            self.disk.free(doomed)
+
+    def _read_superblock(self, slot):
+        raw = self.disk.read(slot)
+        try:
+            magic, version, shards, epoch, crc = _SB_HEAD.unpack_from(raw)
+        except struct.error:
+            return None
+        if magic != _SB_MAGIC or version != _SB_VERSION:
+            return None
+        if shards < 1 or shards > 255 or shards & (shards - 1):
+            return None
+        length = _SB_HEAD.size + _SB_STRIPE.size * shards
+        if length > len(raw):
+            return None
+        body = bytearray(raw[:length])
+        body[_SB_HEAD.size - 4: _SB_HEAD.size] = b"\x00\x00\x00\x00"
+        if _crc(bytes(body)) != crc:
+            return None
+        stripes = []
+        offset = _SB_HEAD.size
+        for _ in range(shards):
+            stripes.append(_SB_STRIPE.unpack_from(raw, offset))
+            offset += _SB_STRIPE.size
+        return (epoch, shards, stripes)
+
+    def _commit_superblock(self):
+        self.epoch += 1
+        body = bytearray(_SB_HEAD.size + _SB_STRIPE.size * self.shards)
+        offset = _SB_HEAD.size
+        for i in range(self.shards):
+            pos_block, pos_offset = self._positions[i]
+            _SB_STRIPE.pack_into(
+                body, offset, self._snapshots[i], pos_block, pos_offset
+            )
+            offset += _SB_STRIPE.size
+        _SB_HEAD.pack_into(
+            body, 0, _SB_MAGIC, _SB_VERSION, self.shards, self.epoch, 0
+        )
+        crc = _crc(bytes(body))
+        _SB_HEAD.pack_into(
+            body, 0, _SB_MAGIC, _SB_VERSION, self.shards, self.epoch, crc
+        )
+        self.disk.write(_SB_SLOTS[self.epoch % 2], bytes(body))
+
+    # ------------------------------------------------------------------
+    # record payloads
+    # ------------------------------------------------------------------
+
+    def _entry_payload(self, entry):
+        data_raw = self.codec.encode(entry.data)
+        parts = [
+            bytes([OP_ENTRY]),
+            entry.number.to_bytes(3, "big"),
+            entry.generation.to_bytes(4, "big"),
+        ]
+        if entry.lifetime is None:
+            parts.append(b"\xff")
+        else:
+            parts.append(b"\x01" + int(entry.lifetime).to_bytes(4, "big"))
+        parts.append(_pack_secret(entry.secret))
+        parts.append(len(data_raw).to_bytes(4, "big"))
+        parts.append(data_raw)
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # logging (callers hold the owning stripe's lock)
+    # ------------------------------------------------------------------
+
+    def log_create(self, shard_index, entry):
+        self._dirty.flag = True
+        self._logs[shard_index].append(self._entry_payload(entry))
+
+    def log_update(self, shard_index, number, data):
+        self._dirty.flag = True
+        data_raw = self.codec.encode(data)
+        self._logs[shard_index].append(
+            bytes([OP_UPDATE])
+            + number.to_bytes(3, "big")
+            + len(data_raw).to_bytes(4, "big")
+            + data_raw
+        )
+
+    def log_refresh(self, shard_index, number, secret, generation):
+        self._dirty.flag = True
+        self._logs[shard_index].append(
+            bytes([OP_REFRESH])
+            + number.to_bytes(3, "big")
+            + generation.to_bytes(4, "big")
+            + _pack_secret(secret)
+        )
+
+    def log_destroy(self, shard_index, number):
+        self._dirty.flag = True
+        self._logs[shard_index].append(
+            bytes([OP_DESTROY]) + number.to_bytes(3, "big")
+        )
+
+    def consume_dirty(self):
+        """True when *this thread* wrote durable state since the last
+        call.  A handler runs start to finish on one thread, so the
+        server's reply path uses this to log commit records only for
+        requests that actually mutated the table — a pure read or echo
+        is idempotent, safe to re-execute after a reboot, and pays no
+        WAL write."""
+        flag = getattr(self._dirty, "flag", False)
+        if flag:
+            self._dirty.flag = False
+        return flag
+
+    def log_commit(self, shard_index, src, reply_value, reply_raw):
+        self._logs[shard_index].append(
+            bytes([OP_COMMIT])
+            + int(src).to_bytes(8, "big")
+            + int(reply_value).to_bytes(6, "big")
+            + len(reply_raw).to_bytes(4, "big")
+            + bytes(reply_raw)
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self, table):
+        """Snapshot every stripe, one at a time — never stop-the-world."""
+        for index in range(self.shards):
+            self.snapshot_stripe(table, index)
+
+    def snapshot_stripe(self, table, index):
+        """Checkpoint one stripe and truncate its log.
+
+        The entry encodings and the log's replay position are captured
+        under a single stripe acquisition, so every record before the
+        position is provably redundant with the snapshot; the position
+        itself only becomes authoritative when the superblock commits,
+        and the old blocks are freed strictly after that — a power
+        failure at any instant leaves either the old complete state or
+        the new complete state.
+        """
+        if self.needs_recovery:
+            raise RuntimeError(
+                "the store holds un-recovered state; a snapshot now "
+                "would truncate logs that were never replayed — call "
+                "recover() first"
+            )
+        if table.shard_count != self.shards:
+            raise ValueError(
+                "table has %d shards but the store was formatted with %d"
+                % (table.shard_count, self.shards)
+            )
+        log = self._logs[index]
+
+        def grab(entries):
+            payloads = [self._entry_payload(e) for e in entries.values()]
+            return payloads, log.tail_position()
+
+        with self._lock:
+            payloads, (pos_block, pos_offset) = table.stripe_locked(
+                index, grab
+            )
+            if payloads:
+                snap = StripeLog(self.disk)
+                for payload in payloads:
+                    snap.append(payload)
+                new_head = snap.head
+            else:
+                new_head = NO_BLOCK
+            old_snap = self._snapshots[index]
+            self._snapshots[index] = new_head
+            self._positions[index] = (pos_block, pos_offset)
+            self._commit_superblock()
+            if old_snap != NO_BLOCK:
+                _free_chain(self.disk, old_snap)
+            log.truncate_front(pos_block)
+            self.snapshots_taken += 1
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, table, rng=None):
+        """Replay the attached state into an (empty) object table.
+
+        Returns a :class:`RecoveryReport`.  Suspect stripes keep their
+        parsed record prefix but every restored entry gets a fresh
+        secret and a bumped generation — outstanding capabilities for
+        those objects fail check validation and must be refreshed, the
+        conservative end of the paper's revocation policy.
+        """
+        if table.shard_count != self.shards:
+            raise ValueError(
+                "table has %d shards but the store was formatted with %d"
+                % (table.shard_count, self.shards)
+            )
+        report = RecoveryReport()
+        report.blocks_reclaimed = self.blocks_reclaimed
+        pending, self._pending = self._pending, None
+        self.needs_recovery = False
+        if pending is None:
+            return report
+        rng = rng or RandomSource()
+        scheme = table.scheme
+        for index, (snap_records, log_records, suspect) in enumerate(pending):
+            entries = {}
+            commits = {}
+            clean = True
+            for payload in snap_records:
+                clean &= self._apply_record(payload, entries, commits, report)
+            for payload in log_records:
+                clean &= self._apply_record(payload, entries, commits, report)
+            if not clean:
+                suspect = True
+            if suspect:
+                report.suspect_stripes.append(index)
+                commits = {}
+                for entry in entries.values():
+                    entry.secret = scheme.new_secret(rng)
+                    entry.generation += 1
+                    entry.verified.clear()
+                    report.secrets_regenerated += 1
+            for entry in entries.values():
+                table.restore_entry(entry)
+            report.entries_restored += len(entries)
+            report.commits.update(commits)
+        return report
+
+    def _apply_record(self, payload, entries, commits, report):
+        """Apply one parsed record; False marks the stripe suspect (a
+        CRC-clean record that still fails to decode means tampering or
+        a codec mismatch — either way, re-key the stripe)."""
+        try:
+            reader = _Reader(payload)
+            op = reader.u8()
+            if op == OP_ENTRY:
+                number = reader.uint(3)
+                generation = reader.uint(4)
+                lifetime_tag = reader.u8()
+                lifetime = None
+                if lifetime_tag == 0x01:
+                    lifetime = reader.uint(4)
+                elif lifetime_tag != 0xFF:
+                    raise ValueError("bad lifetime tag")
+                secret = _unpack_secret(reader)
+                data = self.codec.decode(bytes(reader.take(reader.uint(4))))
+                entries[number] = ObjectEntry(
+                    number=number,
+                    secret=secret,
+                    data=data,
+                    generation=generation,
+                    lifetime=lifetime,
+                )
+            elif op == OP_REFRESH:
+                number = reader.uint(3)
+                generation = reader.uint(4)
+                secret = _unpack_secret(reader)
+                entry = entries.get(number)
+                if entry is not None:
+                    entry.secret = secret
+                    entry.generation = generation
+                    entry.verified.clear()
+            elif op == OP_DESTROY:
+                entries.pop(reader.uint(3), None)
+            elif op == OP_UPDATE:
+                number = reader.uint(3)
+                data = self.codec.decode(bytes(reader.take(reader.uint(4))))
+                entry = entries.get(number)
+                if entry is not None:
+                    entry.data = data
+            elif op == OP_COMMIT:
+                src = reader.uint(8)
+                reply_value = reader.uint(6)
+                commits[(src, reply_value)] = bytes(
+                    reader.take(reader.uint(4))
+                )
+            else:
+                raise ValueError("unknown record op %d" % op)
+        except (ValueError, TypeError, OverflowError):
+            return False
+        report.records_replayed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Store counters (stable keys for the benchmarks)."""
+        return {
+            "shards": self.shards,
+            "epoch": self.epoch,
+            "records_appended": sum(
+                log.records_appended for log in self._logs
+            ),
+            "snapshots_taken": self.snapshots_taken,
+            "disk_writes": self.disk.writes,
+            "disk_reads": self.disk.reads,
+            "used_blocks": self.disk.used_blocks,
+            "blocks_reclaimed": self.blocks_reclaimed,
+        }
+
+    def __repr__(self):
+        return "DurableStore(shards=%d, epoch=%d, %r)" % (
+            self.shards, self.epoch, self.disk,
+        )

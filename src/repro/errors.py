@@ -140,6 +140,18 @@ class WriteOnceViolation(ServerError):
     code = 41
 
 
+class DiskFault(ServerError):
+    """A simulated disk misbehaved (torn write, lost write, bad media)."""
+
+    code = 42
+
+
+class PowerFailure(DiskFault):
+    """The machine lost power mid-I/O; the process owning the disk is gone."""
+
+    code = 43
+
+
 #: Status code for a successful reply.
 STATUS_OK = 0
 
@@ -173,6 +185,8 @@ for _cls in (
     ProcessStateError,
     SecurityError,
     WriteOnceViolation,
+    DiskFault,
+    PowerFailure,
 ):
     _register(_cls)
 

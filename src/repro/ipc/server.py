@@ -184,6 +184,29 @@ class ReplyCache:
             if client is not None and reply_value in client:
                 client[reply_value] = reply
 
+    def seed(self, src, reply_value, reply):
+        """Install a *completed* entry directly — no begin() preceded it.
+
+        Reboot recovery uses this: transactions whose commit record
+        survived the crash are re-admitted as already-answered, so a
+        client retry that straddles the restart replays the durable
+        reply instead of re-executing.  Same LRU bounds as live entries.
+        """
+        with self._lock:
+            client = self._clients.get(src)
+            if client is None:
+                if len(self._clients) >= self.clients:
+                    self._clients.popitem(last=False)
+                    self.evictions += 1
+                self._clients[src] = client = OrderedDict()
+            else:
+                self._clients.move_to_end(src)
+            if reply_value not in client and len(client) >= self.per_client:
+                client.popitem(last=False)
+                self.evictions += 1
+            client[reply_value] = reply
+            client.move_to_end(reply_value)
+
     def forget(self, src, reply_value):
         """Withdraw an entry (e.g. an in-progress marker whose deferred
         reply was abandoned), so a future retry re-executes."""
@@ -314,6 +337,7 @@ class ObjectServer:
         authorized_signatures=None,
         workers=0,
         dedup=None,
+        store=None,
     ):
         self.node = node
         #: Optional duplicate suppression for at-least-once clients:
@@ -347,7 +371,20 @@ class ObjectServer:
         self.authorized_signatures = (
             set(authorized_signatures) if authorized_signatures is not None else None
         )
-        self.table = ObjectTable(self.scheme, self.put_port, self.rng)
+        #: Optional durability (:class:`~repro.disk.wal.DurableStore`):
+        #: the object table write-ahead-logs every surviving mutation to
+        #: it, :meth:`checkpoint` snapshots through it, and
+        #: :meth:`reboot` replays it after a crash.  With ``dedup`` also
+        #: on, every replied transaction additionally logs a commit
+        #: record, extending duplicate suppression across reboots.
+        self.store = store
+        if store is not None:
+            self.table = ObjectTable(
+                self.scheme, self.put_port, self.rng,
+                wal=store, shards=store.shards,
+            )
+        else:
+            self.table = ObjectTable(self.scheme, self.put_port, self.rng)
         if sealer is not None:
             # Revocation hygiene: when a secret dies (REFRESH, DESTROY,
             # aging) the sealer's §2.4 caches must drop that object's
@@ -422,6 +459,13 @@ class ObjectServer:
         per-frame handler; the dispatch semantics are identical either
         way.
         """
+        if self.store is not None and getattr(
+            self.store, "needs_recovery", False
+        ):
+            raise AmoebaError(
+                "the durable store holds un-recovered state; "
+                "call reboot() before start()"
+            )
         if self.workers >= 2 and self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers,
@@ -449,6 +493,80 @@ class ObjectServer:
     @property
     def running(self):
         return self._running
+
+    # ------------------------------------------------------------------
+    # durability protocol
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Snapshot every object-table stripe and truncate its log.
+
+        Run this periodically (a sweep timer, every N requests); each
+        stripe is checkpointed under its own brief stripe acquisition,
+        so service never stops.
+        """
+        if self.store is None:
+            raise AmoebaError("checkpoint() requires a durable store")
+        self.store.snapshot(self.table)
+
+    def reboot(self):
+        """Recover this server's state from its durable store.
+
+        The reboot protocol after a crash: construct a *new* server on
+        the old disk (the attaching :class:`~repro.disk.wal.DurableStore`
+        scans snapshot + log), keep the old ``get_port`` so the old
+        put-port still locates, and call ``reboot()`` before
+        ``start()``.  Recovery replays every stripe into the table;
+        stripes with a suspect log tail come back with regenerated
+        secrets and bumped generations, so their outstanding
+        capabilities fail §2.2 check validation — clients see
+        ``InvalidCapability``/``NoSuchObject`` and re-acquire through
+        the retry + re-locate path, exactly the revocation policy.
+
+        With dedup enabled, recovered commit records re-seed the reply
+        cache (re-stamped with *this* incarnation's signature secret,
+        since the old one died with the process), so a retry straddling
+        the reboot replays its durable reply instead of re-executing.
+
+        Returns the :class:`~repro.disk.wal.RecoveryReport`.
+        """
+        if self.store is None:
+            raise AmoebaError("reboot() requires a durable store")
+        if len(self.table):
+            raise AmoebaError("reboot() must run on an empty object table")
+        report = self.store.recover(self.table, rng=self.rng)
+        if self.reply_cache is not None:
+            for (src, reply_value), raw in report.commits.items():
+                try:
+                    reply = Message.unpack(raw)
+                except Exception:
+                    continue  # an unparsable commit is just not replayable
+                reply = reply._evolve(signature=self._signature_port)
+                self.reply_cache.seed(src, reply_value, reply)
+        return report
+
+    def _log_commit(self, src, request, reply):
+        """Append a durable commit record for one replied transaction.
+
+        Keyed exactly like the reply cache — (src, reply put-port) — and
+        appended to the stripe of the object the request named (any
+        stripe is semantically fine; recovery merges all of them), under
+        that stripe's lock so snapshot truncation can never drop it.
+
+        Only requests that wrote durable state pay this write: an
+        idempotent read or echo re-executes harmlessly after a reboot,
+        so its reply needs no disk-backed dedup — the in-memory reply
+        cache still suppresses duplicates within the incarnation.
+        """
+        if not self.store.consume_dirty():
+            return
+        capability = request.capability
+        if capability is None:
+            capability = reply.capability
+        # A matrix-sealed capability's object number is opaque; stripe 0
+        # then hosts the record, which recovery is indifferent to.
+        number = getattr(capability, "object", 0) if capability is not None else 0
+        self.table.log_commit(number, src, request.reply.value, reply.pack())
 
     # ------------------------------------------------------------------
     # dispatch
@@ -603,6 +721,8 @@ class ObjectServer:
                 # Store a pristine copy *before* the outbox flush
                 # transforms the outgoing one in place.
                 cache.store(frame.src, request.reply.value, reply._evolve())
+                if self.store is not None:
+                    self._log_commit(frame.src, request, reply)
             out_append((reply, frame.src))
         if outbox:
             # One bulk unicast for the whole run's replies; a node
@@ -716,6 +836,8 @@ class ObjectServer:
                     cache.store(
                         frame.src, frame.message.reply.value, reply._evolve()
                     )
+                    if self.store is not None:
+                        self._log_commit(frame.src, frame.message, reply)
                 outbox.append((reply, frame.src))
         if outbox:
             with self._egress_lock:
@@ -744,6 +866,12 @@ class ObjectServer:
                 self.reply_cache.store(
                     frame.src, reply_value, reply._evolve()
                 )
+                if self.store is not None:
+                    # Durable commit *before* the reply leaves: a retry
+                    # arriving after a crash-and-reboot must find the
+                    # record, or it would re-execute a non-idempotent
+                    # operation whose first reply was already delivered.
+                    self._log_commit(frame.src, frame.message, reply)
         if self._pool is not None:
             # A DeferredReply.send() may run on a pool thread while the
             # dispatching thread is mid-egress; serialize the station.

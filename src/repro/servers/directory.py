@@ -10,6 +10,9 @@ says where to go next.  :func:`resolve_path` implements that client-side
 walk.
 """
 
+import struct
+
+from repro.core.capability import Capability
 from repro.core.rights import Rights
 from repro.errors import BadRequest, NameExists, NameNotFound
 from repro.ipc.client import ServiceClient
@@ -49,10 +52,69 @@ class Directory:
         return len(self.entries)
 
 
+class DirectoryCodec:
+    """On-disk form of a :class:`Directory` for the durable store.
+
+    Explicit and versionable — per entry ``[2B name length][name utf-8]
+    [2B cap length][packed capability]`` — never pickle.  Encoding
+    snapshots the name map with one ``list(...)`` call (atomic under
+    the GIL), so a handler mutating the directory concurrently can
+    never tear the encoding mid-entry.
+    """
+
+    def encode(self, data):
+        if not isinstance(data, Directory):
+            raise TypeError(
+                "DirectoryCodec cannot encode %s" % type(data).__name__
+            )
+        items = list(data.entries.items())
+        parts = [struct.pack(">I", len(items))]
+        for name, capability in items:
+            raw_name = name.encode("utf-8")
+            raw_cap = capability.pack()
+            parts.append(struct.pack(">HH", len(raw_name), len(raw_cap)))
+            parts.append(raw_name)
+            parts.append(raw_cap)
+        return b"".join(parts)
+
+    def decode(self, raw):
+        directory = Directory()
+        (count,) = struct.unpack_from(">I", raw)
+        offset = 4
+        for _ in range(count):
+            name_len, cap_len = struct.unpack_from(">HH", raw, offset)
+            offset += 4
+            name = raw[offset: offset + name_len].decode("utf-8")
+            offset += name_len
+            capability = Capability.unpack(raw[offset: offset + cap_len])
+            offset += cap_len
+            directory.entries[name] = capability
+        if offset != len(raw):
+            raise ValueError("trailing bytes in directory payload")
+        return directory
+
+
 class DirectoryServer(ObjectServer):
-    """Lookup, enter, and remove (name, capability) pairs."""
+    """Lookup, enter, and remove (name, capability) pairs.
+
+    The first durable service: construct via :meth:`durable` (or pass
+    ``store=DurableStore(disk, codec=DirectoryCodec())``) and every
+    create/enter/remove survives a crash — ``reboot()`` on a new
+    incarnation replays the disk (see ``ObjectServer.reboot``).
+    """
 
     service_name = "directory server"
+
+    @classmethod
+    def durable(cls, node, disk=None, dedup=True, **kwargs):
+        """Build a durable directory server on ``disk`` (a fresh
+        :class:`~repro.disk.virtualdisk.VirtualDisk` when omitted).
+        Dedup defaults on: a durable name service should also suppress
+        duplicate ENTER/REMOVE across retries and reboots."""
+        from repro.disk.wal import DurableStore
+
+        store = DurableStore(disk, codec=DirectoryCodec())
+        return cls(node, store=store, dedup=dedup, **kwargs)
 
     @command(DIR_CREATE)
     def _create(self, ctx):
@@ -86,6 +148,7 @@ class DirectoryServer(ObjectServer):
         if name in directory.entries and not ctx.request.size:
             raise NameExists("entry %r already exists" % name)
         directory.entries[name] = ctx.request.extra_caps[0]
+        self.table.persist(entry.number)
         return ctx.ok()
 
     @command(DIR_REMOVE)
@@ -96,6 +159,7 @@ class DirectoryServer(ObjectServer):
         if name not in directory.entries:
             raise NameNotFound("no entry %r in this directory" % name)
         del directory.entries[name]
+        self.table.persist(entry.number)
         return ctx.ok()
 
     @command(DIR_LIST)

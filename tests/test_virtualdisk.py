@@ -1,5 +1,7 @@
 """Tests for the virtual disk (including write-once media)."""
 
+import threading
+
 import pytest
 
 from repro.disk.virtualdisk import VirtualDisk
@@ -37,6 +39,97 @@ class TestBasics:
             VirtualDisk(n_blocks=0)
         with pytest.raises(ValueError):
             VirtualDisk(n_blocks=1, block_size=0)
+
+
+class TestAllocationDiscipline:
+    """Freeing is only legal for blocks the disk handed out."""
+
+    def test_double_free_raises(self):
+        disk = VirtualDisk(n_blocks=4)
+        b = disk.allocate()
+        disk.free(b)
+        with pytest.raises(ValueError, match="not allocated"):
+            disk.free(b)
+
+    def test_free_of_never_allocated_block_raises(self):
+        disk = VirtualDisk(n_blocks=4)
+        with pytest.raises(ValueError, match="not allocated"):
+            disk.free(2)
+
+    def test_free_out_of_range_raises(self):
+        disk = VirtualDisk(n_blocks=4)
+        with pytest.raises(ValueError):
+            disk.free(99)
+
+    def test_double_free_does_not_corrupt_free_list(self):
+        # The historical bug: free() appended unconditionally, so a
+        # double free let two owners allocate the same block.
+        disk = VirtualDisk(n_blocks=2)
+        b = disk.allocate()
+        disk.free(b)
+        with pytest.raises(ValueError):
+            disk.free(b)
+        first, second = disk.allocate(), disk.allocate()
+        assert first != second
+
+    def test_reserve(self):
+        disk = VirtualDisk(n_blocks=4)
+        disk.reserve(0)
+        assert 0 in disk.allocated_blocks()
+        got = {disk.allocate() for _ in range(3)}
+        assert 0 not in got
+        with pytest.raises(ValueError):
+            disk.reserve(0)  # already taken
+
+    def test_allocated_blocks_snapshot(self):
+        disk = VirtualDisk(n_blocks=4)
+        a, b = disk.allocate(), disk.allocate()
+        assert disk.allocated_blocks() == frozenset({a, b})
+
+
+class TestThreadSafety:
+    def test_concurrent_allocate_free_cycles(self):
+        disk = VirtualDisk(n_blocks=256, block_size=32)
+        errors = []
+
+        def churn(worker):
+            try:
+                for i in range(200):
+                    b = disk.allocate()
+                    disk.write(b, b"w%dc%d" % (worker, i))
+                    assert disk.read(b).startswith(b"w%d" % worker)
+                    disk.free(b)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert disk.used_blocks == 0
+        assert disk.free_blocks == 256
+
+    def test_concurrent_allocation_is_unique(self):
+        disk = VirtualDisk(n_blocks=512)
+        grabbed = [[] for _ in range(8)]
+
+        def grab(mine):
+            for _ in range(64):
+                mine.append(disk.allocate())
+
+        threads = [
+            threading.Thread(target=grab, args=(g,)) for g in grabbed
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [b for mine in grabbed for b in mine]
+        assert len(flat) == len(set(flat)) == 512
 
 
 class TestIO:
