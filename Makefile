@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke bench-recovery-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke bench-recovery-smoke bench-replica-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -48,3 +48,10 @@ bench-fault-smoke:
 ## scenario is deterministic by double run.
 bench-recovery-smoke:
 	$(PYTHON) benchmarks/bench_recovery.py --smoke
+
+## Replicated-service suite: 4-OS-process pool aggregate throughput,
+## the replica-kill failover storm (asserts every transaction completes
+## with zero per-replica double-executions and member-wise location
+## invalidation), and the bounded-ingress overload flood on the pool.
+bench-replica-smoke:
+	$(PYTHON) benchmarks/bench_replica.py --smoke

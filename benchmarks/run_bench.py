@@ -55,6 +55,8 @@ def run_workloads(smoke=False):
     from bench_fault import WORKLOADS as FAULT_WORKLOADS
     from bench_recovery import SMOKE_OVERRIDES as RECOVERY_SMOKE_OVERRIDES
     from bench_recovery import WORKLOADS as RECOVERY_WORKLOADS
+    from bench_replica import SMOKE_OVERRIDES as REPLICA_SMOKE_OVERRIDES
+    from bench_replica import WORKLOADS as REPLICA_WORKLOADS
     from bench_shard import SMOKE_OVERRIDES as SHARD_SMOKE_OVERRIDES
     from bench_shard import WORKLOADS as SHARD_WORKLOADS
     from bench_throughput import SMOKE_OVERRIDES, WORKLOADS
@@ -67,12 +69,14 @@ def run_workloads(smoke=False):
     workloads.update(SHARD_WORKLOADS)
     workloads.update(FAULT_WORKLOADS)
     workloads.update(RECOVERY_WORKLOADS)
+    workloads.update(REPLICA_WORKLOADS)
     overrides = dict(SMOKE_OVERRIDES)
     overrides.update(UDP_SMOKE_OVERRIDES)
     overrides.update(DES_SMOKE_OVERRIDES)
     overrides.update(SHARD_SMOKE_OVERRIDES)
     overrides.update(FAULT_SMOKE_OVERRIDES)
     overrides.update(RECOVERY_SMOKE_OVERRIDES)
+    overrides.update(REPLICA_SMOKE_OVERRIDES)
     results = {}
     for name, workload in workloads.items():
         kwargs = overrides.get(name, {}) if smoke else {}

@@ -463,6 +463,56 @@ class ObjectTable:
         self._notify_revocation(entry.number, generation, shard.index)
         return entry.data
 
+    def apply_refresh(self, number, secret, generation):
+        """Install a revocation decided by a *peer replica*.
+
+        The replica control plane is at-least-once: a fan-out
+        CTL_APPLY_REFRESH may arrive twice (retransmission) or late
+        (after a newer local refresh).  The generation guard makes both
+        safe — a secret is installed only if it is strictly newer than
+        the live row's, so duplicates and stale deliveries are no-ops.
+        Returns True when the secret was installed; an absent object is
+        also a no-op (a racing destroy won), returning False.
+
+        Like :meth:`refresh`, the verified memo is cleared under the same
+        stripe hold that swaps the secret, and the revocation listeners
+        (the §2.4 cache purge) fire after the stripe is released.
+        """
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            entry = shard.entries.get(number)
+            if entry is None or generation <= entry.generation:
+                return False
+            entry.secret = secret
+            entry.generation = generation
+            entry.verified.clear()
+            if self._wal is not None:
+                self._wal.log_refresh(shard.index, number, secret, generation)
+        self._notify_revocation(number, generation, shard.index)
+        return True
+
+    def apply_destroy(self, number):
+        """Remove an object destroyed by a peer replica (idempotent).
+
+        No capability validation: the peer already validated the owner
+        capability before fanning out, and the control message itself is
+        signature-authenticated at the server layer.  A duplicate or a
+        destroy for an object this replica never had is a no-op.
+        Returns True when a row was removed.
+        """
+        shard = self._shards[number & self._mask]
+        with shard.lock:
+            entry = shard.entries.pop(number, None)
+            if entry is None:
+                return False
+            shard.free_numbers.append(number)
+            generation = entry.generation
+            if self._wal is not None:
+                self._wal.log_destroy(shard.index, number)
+        self._recycle_hints.append(shard.index)
+        self._notify_revocation(number, generation, shard.index)
+        return True
+
     def age(self, on_expire=None):
         """One garbage-collection sweep (Amoeba's touch-based GC).
 
@@ -569,6 +619,22 @@ class ObjectTable:
             shard.entries[number] = entry
             if shard.fresh_number <= number:
                 shard.fresh_number = number + shard.step
+
+    def snapshot_entries(self):
+        """A consistent-per-stripe copy of every live row, as
+        ``(number, secret, data, generation)`` tuples.  Replica pools use
+        this to seed N forked processes from one populated table —
+        capabilities minted against the template then validate on every
+        replica.  Each stripe is locked exactly once; the snapshot is
+        not atomic across stripes (neither is any client's view)."""
+        rows = []
+        for shard in self._shards:
+            with shard.lock:
+                rows.extend(
+                    (e.number, e.secret, e.data, e.generation)
+                    for e in shard.entries.values()
+                )
+        return rows
 
     def mint_for(self, number, rights=ALL_RIGHTS):
         """Mint a capability for an existing object *without* validation.

@@ -86,6 +86,15 @@ class ServiceClient:
         if self.locator is not None:
             dst_machine = self.locator.locate(self.put_port)
         if self.sealer is not None:
+            if getattr(dst_machine, "is_replica_set", False):
+                # Sealing is per destination machine: bind the call to
+                # the policy's first choice.  (Failover would need a
+                # re-seal per candidate; a sealed deployment trades it
+                # for the §2.4 cache economics.)
+                members = dst_machine.select(
+                    capability.object if capability is not None else None
+                )
+                dst_machine = members[0] if members else None
             request = self.sealer.seal_message(request, dst_machine)
         try:
             reply = trans(
@@ -98,13 +107,16 @@ class ServiceClient:
                 dst_machine=dst_machine,
                 signature=self.signature,
                 retry=self.retry,
+                locator=self.locator,
             )
         except RPCTimeout:
             if self.locator is not None:
-                # The cached (port, machine) pair may be the whole
-                # problem — a crashed or migrated server.  Invalidate so
-                # the caller's next attempt re-broadcasts LOCATE instead
-                # of hammering the dark machine.
+                # The cached mapping may be the whole problem — a crashed
+                # or migrated server (with a replica set, trans already
+                # forgot each dead member on the way here, so this drops
+                # whatever husk remains).  Invalidate so the caller's
+                # next attempt re-broadcasts LOCATE instead of hammering
+                # the dark machine.
                 self.locator.invalidate(self.put_port)
             raise
         if reply.sealed_caps:

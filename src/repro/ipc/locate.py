@@ -62,6 +62,19 @@ class ShardedLocationCache:
     and writers (:meth:`put`, :meth:`invalidate`) take only the owning
     stripe, so invalidating one port never stalls lookups, or other
     invalidations, elsewhere.
+
+    **Invalidation epochs.**  A locate is a broadcast round trip; its
+    ``put`` can land long after the HERE frame was sent.  If a crash is
+    detected in that window, a plain put would *resurrect* the mapping
+    the invalidation just purged — the client then re-sends to a dead
+    machine until someone notices again.  Each stripe therefore carries
+    an epoch counter, bumped by every :meth:`invalidate` /
+    :meth:`invalidate_member`; a caller snapshots :meth:`epoch` before
+    broadcasting and passes it to :meth:`put`, which discards the write
+    (returning False) when the stripe has been invalidated since.
+    Values may be a single machine address or a replica set (any object
+    with an ``is_replica_set`` attribute, see
+    :class:`repro.ipc.replica.ReplicaSet`).
     """
 
     def __init__(self, shards=8):
@@ -70,6 +83,9 @@ class ShardedLocationCache:
         self._shards = [{} for _ in range(shards)]
         self._locks = [threading.Lock() for _ in range(shards)]
         self._mask = shards - 1
+        # Per-stripe invalidation epochs.  Mutated only under the stripe
+        # lock; read lock-free (int loads are atomic) by epoch().
+        self._epochs = [0] * shards
 
     def _index(self, port):
         return port.value & self._mask
@@ -78,16 +94,57 @@ class ShardedLocationCache:
         """The cached machine for ``port``, or None.  Lock-free."""
         return self._shards[port.value & self._mask].get(port)
 
-    def put(self, port, machine):
+    def epoch(self, port):
+        """The owning stripe's invalidation epoch.  Lock-free; snapshot
+        it *before* starting a locate and hand it to :meth:`put`."""
+        return self._epochs[port.value & self._mask]
+
+    def put(self, port, machine, epoch=None):
+        """Install a mapping; with ``epoch``, only if the owning stripe
+        has not been invalidated since that snapshot was taken.  Returns
+        True when the mapping was stored."""
         index = self._index(port)
         with self._locks[index]:
+            if epoch is not None and epoch != self._epochs[index]:
+                return False
             self._shards[index][port] = machine
+        return True
 
     def invalidate(self, port):
-        """Per-shard invalidation: drops one mapping under one stripe."""
+        """Per-shard invalidation: drops one mapping under one stripe
+        and advances the stripe's epoch, so in-flight locates started
+        before this point cannot resurrect the mapping."""
         index = self._index(port)
         with self._locks[index]:
             self._shards[index].pop(port, None)
+            self._epochs[index] += 1
+
+    def invalidate_member(self, port, machine):
+        """Forget one *replica* of a cached replica set, keeping the
+        survivors — failover should not blind the client to the replicas
+        that are still answering.  A single-machine mapping equal to
+        ``machine`` is dropped whole.  Advances the stripe epoch either
+        way (the set shape changed; a slow in-flight locate may carry
+        the dead member).  Returns True when anything changed."""
+        index = self._index(port)
+        with self._locks[index]:
+            value = self._shards[index].get(port)
+            if value is None:
+                return False
+            if getattr(value, "is_replica_set", False):
+                if machine not in value:
+                    return False
+                survivors = value.without(machine)
+                if len(survivors):
+                    self._shards[index][port] = survivors
+                else:
+                    del self._shards[index][port]
+            elif value == machine:
+                del self._shards[index][port]
+            else:
+                return False
+            self._epochs[index] += 1
+        return True
 
     def clear(self):
         for index, shard in enumerate(self._shards):
@@ -158,6 +215,10 @@ class Locator:
             self._count(port, hit=True)
             return cached
         self._count(port, hit=False)
+        # Snapshot the stripe's invalidation epoch *before* broadcasting:
+        # if a crash is detected while the round trip is in flight, the
+        # answer must not resurrect the purged mapping.
+        epoch = self.cache.epoch(port)
         # Local imports to avoid cycle noise (rpc pulls in the transports).
         from repro.core.ports import PrivatePort
         from repro.ipc.rpc import _poll_blocking
@@ -194,8 +255,16 @@ class Locator:
                     remaining = until - read_clock()
                     frame = _poll_blocking(self.node, wire_reply, remaining)
                 if frame is not None:
-                    self.cache.put(port, frame.src)
-                    return frame.src
+                    located = self._parse_here(port, frame)
+                    if located is None:  # malformed answer; keep waiting
+                        wait *= 2
+                        continue
+                    # A rejected put means an invalidation raced us; the
+                    # answer itself is still the freshest thing we have
+                    # for *this* call, it just must not repopulate the
+                    # cache (it may predate the detected crash).
+                    self.cache.put(port, located, epoch=epoch)
+                    return located
                 wait *= 2
                 if read_clock() >= deadline and attempt < retries:
                     break
@@ -203,10 +272,32 @@ class Locator:
         finally:
             self.node.unlisten_wire(wire_reply)
 
+    def _parse_here(self, port, frame):
+        """Decode a HERE answer: the legacy 6-byte form names the
+        answering machine itself; the extended form carries a packed
+        replica set (policy + members) for the logical port."""
+        data = frame.message.data
+        if len(data) == len(port.to_bytes()):
+            return frame.src  # legacy single-machine HERE
+        from repro.ipc.replica import unpack_here_payload
+
+        try:
+            answered_port, replicas = unpack_here_payload(data)
+        except ValueError:
+            return None
+        if answered_port != port:
+            return None
+        return replicas
+
     def invalidate(self, port):
         """Forget a cached location (server crashed or migrated); only
         the owning cache shard is touched."""
         self.cache.invalidate(as_port(port))
+
+    def invalidate_member(self, port, machine):
+        """Forget one dead replica of a cached replica set, keeping the
+        members that are still answering."""
+        return self.cache.invalidate_member(as_port(port), machine)
 
     def __repr__(self):
         return "Locator(cached=%d, hits=%d, misses=%d)" % (

@@ -108,6 +108,7 @@ def trans(
     dst_machine=None,
     signature=None,
     retry=None,
+    locator=None,
 ):
     """Send one request and block for its reply.
 
@@ -137,15 +138,37 @@ def trans(
         expiry (same reply secret each time), still under the one
         ``timeout`` deadline.  None (the default) keeps the classic
         send-once semantics and the exact pre-existing hot path.
+    locator:
+        With a replica-set ``dst_machine``, the
+        :class:`~repro.ipc.locate.Locator` (or anything with
+        ``invalidate_member``) to notify when one replica times out —
+        only the dead member is forgotten, never the whole entry.
+
+    When ``dst_machine`` is a :class:`~repro.ipc.replica.ReplicaSet`
+    the transaction becomes replica-aware: candidates are ordered by the
+    set's spread policy (per-object rendezvous affinity when the request
+    carries a capability), each candidate gets an equal slice of the
+    ``timeout`` budget (with any ``retry`` schedule running inside its
+    slice), and an ``RPCTimeout`` fails over to the next replica instead
+    of surfacing.  Only when every member is silent does the timeout
+    propagate.  Because a failover retry reuses the at-least-once
+    machinery, each *replica's* ReplyCache independently suppresses
+    duplicates — the replica that already executed never re-executes.
 
     Raises
     ------
     PortNotLocated
-        No station admitted the request frame (simulated network only).
+        No station admitted the request frame (simulated network only),
+        or the replica set has no members.
     RPCTimeout
         No (acceptable) reply arrived within ``timeout`` seconds.
     """
     rng = rng or _DEFAULT_RNG
+    if getattr(dst_machine, "is_replica_set", False):
+        return _trans_replicated(
+            node, dest_port, request, rng, timeout, expect_signature,
+            dst_machine, signature, retry, locator,
+        )
     if retry is not None:
         return _trans_retry(
             node, as_port(dest_port), request, rng, timeout,
@@ -327,6 +350,55 @@ def _trans_retry(node, dest, request, rng, timeout, expect_signature,
         node.unlisten_wire(wire_reply)
 
 
+def _affinity_key(request):
+    """The spread key for replica selection: the object number the
+    request names, so a rendezvous-hash policy gives every client the
+    same per-object home replica.  Header-only requests spread by
+    policy default."""
+    capability = request.capability
+    return capability.object if capability is not None else None
+
+
+def _trans_replicated(node, dest_port, request, rng, timeout,
+                      expect_signature, replicas, signature, retry, locator):
+    """The replica-failover tail of :func:`trans`.
+
+    One logical port, N machines: candidates come ordered from the
+    set's spread policy; each gets an equal slice of the timeout budget
+    (a dead replica must not consume the whole deadline), and a timed-out
+    candidate is reported to the locator — which forgets only that
+    member — before the next one is tried.  Each attempt is an ordinary
+    :func:`trans` with a *fresh* reply secret; at-least-once semantics
+    across replicas come from the per-replica ReplyCache contract, not
+    from sharing G' across machines (a reply from a replica we already
+    gave up on must land on a dead port, not be mistaken for the
+    current attempt's answer).
+    """
+    candidates = replicas.select(_affinity_key(request))
+    if not candidates:
+        raise PortNotLocated(
+            "replica set for port %r has no members" % as_port(dest_port)
+        )
+    slice_timeout = timeout / len(candidates)
+    dest = as_port(dest_port)
+    last_error = None
+    for machine in candidates:
+        try:
+            return trans(
+                node, dest, request, rng=rng, timeout=slice_timeout,
+                expect_signature=expect_signature, dst_machine=machine,
+                signature=signature, retry=retry,
+            )
+        except RPCTimeout as exc:
+            last_error = exc
+            if locator is not None:
+                locator.invalidate_member(dest, machine)
+    raise RPCTimeout(
+        "no reply from any of %d replicas of port %r within %.3fs"
+        % (len(candidates), dest, timeout)
+    ) from last_error
+
+
 # ----------------------------------------------------------------------
 # pipelined transactions
 # ----------------------------------------------------------------------
@@ -381,6 +453,18 @@ class AsyncTrans:
     ):
         if reply_secret is None:
             reply_secret = Port.random(rng or _DEFAULT_RNG)
+        if getattr(dst_machine, "is_replica_set", False):
+            # A pipelined issue binds to one replica up front — failover
+            # mid-flight is the blocking path's job — but the spread
+            # policy still decides *which* one, so a burst of issues
+            # load-balances like blocking calls do.
+            candidates = dst_machine.select(_affinity_key(request))
+            if not candidates:
+                raise PortNotLocated(
+                    "replica set for port %r has no members"
+                    % as_port(dest_port)
+                )
+            dst_machine = candidates[0]
         self.node = node
         self.expect_signature = expect_signature
         self._reply = None
@@ -604,6 +688,7 @@ def trans_many(
     dst_machine=None,
     signature=None,
     retry=None,
+    locator=None,
 ):
     """Issue every request with its own fresh reply port, then collect.
 
@@ -612,6 +697,12 @@ def trans_many(
     awaited, and the replies come back in request order.  The reply
     secrets for the whole batch are drawn from one pooled randomness
     read, so issuing is O(N) dict work plus exactly N F-box transforms.
+
+    A replica-set ``dst_machine`` binds the whole batch to one replica
+    (chosen by the set's spread policy on the first request's object) so
+    the fused lanes keep their single-destination shape; an
+    ``RPCTimeout`` fails the *batch* over to the next replica, reporting
+    the dead member to ``locator`` like :func:`trans` does.
 
     Raises whatever the underlying transactions raise; on any failure all
     outstanding reply GETs are withdrawn, so a failed batch leaves no
@@ -622,6 +713,29 @@ def trans_many(
         return []
     dest = as_port(dest_port)
     rng = rng or _DEFAULT_RNG
+    if getattr(dst_machine, "is_replica_set", False):
+        candidates = dst_machine.select(_affinity_key(requests[0]))
+        if not candidates:
+            raise PortNotLocated(
+                "replica set for port %r has no members" % (dest,)
+            )
+        slice_timeout = timeout / len(candidates)
+        last_error = None
+        for machine in candidates:
+            try:
+                return trans_many(
+                    node, dest, requests, rng=rng, timeout=slice_timeout,
+                    expect_signature=expect_signature, dst_machine=machine,
+                    signature=signature, retry=retry,
+                )
+            except RPCTimeout as exc:
+                last_error = exc
+                if locator is not None:
+                    locator.invalidate_member(dest, machine)
+        raise RPCTimeout(
+            "no replies from any of %d replicas of port %r within %.3fs"
+            % (len(candidates), dest, timeout)
+        ) from last_error
     secrets = _draw_secrets(rng, len(requests))
     if retry is not None:
         # Retransmitting transactions need per-call backoff state; the

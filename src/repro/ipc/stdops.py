@@ -31,6 +31,18 @@ LOCATE = 10
 #: Kernel-level unicast answer to :data:`LOCATE`.
 HERE = 11
 
+#: Replica control plane (server-to-server, signature-authenticated):
+#: install a revocation decided by a peer replica of the same logical
+#: service.  Payload: object number, new generation, tagged new secret.
+CTL_APPLY_REFRESH = 40
+
+#: Peer-decided destruction; payload: object number, generation.
+CTL_APPLY_DESTROY = 41
+
+#: Liveness/introspection probe answered by any replica with a small
+#: JSON stats blob (objects held, dedup counters, fan-out failures).
+CTL_HEALTH = 42
+
 #: First command number available to individual servers.
 USER_BASE = 100
 

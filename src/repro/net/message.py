@@ -65,6 +65,27 @@ _FIXED = struct.Struct(">2sBB6s6s6sHHQIHI")
 #: Serialized size of the fixed header, in bytes.
 HEADER_BYTES = _FIXED.size
 
+# The header splits at the destination port: everything up to and
+# including ``dest`` (magic, version, flags, dest) is constant for every
+# message a client sends to one service, while everything after it
+# (reply, signature, command, ...) varies per transaction.  pack()
+# therefore prebuilds the constant prefix once per (dest, flags) pair
+# and reuses it for every later send to that destination — and since
+# :meth:`Port.to_bytes` memoizes its wire form, the cache key is the
+# *same* bytes object on every repeat send, so its hash is computed once
+# (CPython caches bytes hashes) and the probe is a single dict hit.
+_PREFIX = struct.Struct(">2sBB6s")
+_TAIL = struct.Struct(">6s6sHHQIHI")
+_PREFIX_BYTES = _PREFIX.size
+
+# One template dict per flags value (flags is 2 bits); bounded so a
+# client sweeping millions of distinct destinations cannot grow them
+# without limit — on overflow the dict is dropped wholesale and warms
+# back up (templates are 10-byte values; rebuilding one is one
+# struct call).
+_TEMPLATE_LIMIT = 1024
+_TEMPLATES = tuple({} for _ in range(4))
+
 
 @dataclass
 class Message:
@@ -106,11 +127,15 @@ class Message:
             self.data = self.data.encode("utf-8")
 
     def pack(self):
-        """Serialise to wire bytes in a single pass.
+        """Serialise to wire bytes.
 
-        The frame is assembled into one preallocated buffer: the fixed
-        header is packed in place and the capability/payload sections are
-        spliced in, with no intermediate ``bytes`` joins.
+        The header is assembled from a per-destination *template*: the
+        (magic, version, flags, dest) prefix is prebuilt once per
+        destination and reused on every later send to the same port, so
+        only the per-transaction tail is packed each time.  The frame is
+        then a single ``bytes.join`` — measured faster than packing into
+        a preallocated buffer, whose slice splices cost more than the
+        joins they avoid.
         """
         flags = _FLAG_REPLY if self.is_reply else 0
         if self.sealed_caps:
@@ -125,43 +150,36 @@ class Message:
         caplen = len(cap_bytes)
         data = self.data
         extra_caps = self.extra_caps
+        dest_wire = self.dest.to_bytes()
+        templates = _TEMPLATES[flags]
+        prefix = templates.get(dest_wire)
+        if prefix is None:
+            if len(templates) >= _TEMPLATE_LIMIT:
+                templates.clear()
+            prefix = templates[dest_wire] = _PREFIX.pack(
+                _MAGIC, _VERSION, flags, dest_wire
+            )
         if extra_caps:
             packed_extras = [cap.pack() for cap in extra_caps]
             datalen = 1 + sum(len(c) + 2 for c in packed_extras) + len(data)
-        else:
-            packed_extras = ()
-            datalen = 1 + len(data)
-        buf = bytearray(HEADER_BYTES + caplen + datalen)
-        _FIXED.pack_into(
-            buf,
-            0,
-            _MAGIC,
-            _VERSION,
-            flags,
-            self.dest.to_bytes(),
-            self.reply.to_bytes(),
-            self.signature.to_bytes(),
-            self.command,
-            self.status,
-            self.offset,
-            self.size,
-            caplen,
-            datalen,
+            body = [bytes((len(extra_caps),))]
+            for packed in packed_extras:
+                clen = len(packed)
+                body.append(bytes((clen >> 8, clen & 0xFF)))
+                body.append(packed)
+            body.append(data)
+            tail = _TAIL.pack(
+                self.reply.to_bytes(), self.signature.to_bytes(),
+                self.command, self.status, self.offset, self.size,
+                caplen, datalen,
+            )
+            return b"".join((prefix, tail, cap_bytes, *body))
+        tail = _TAIL.pack(
+            self.reply.to_bytes(), self.signature.to_bytes(),
+            self.command, self.status, self.offset, self.size,
+            caplen, 1 + len(data),
         )
-        pos = HEADER_BYTES
-        buf[pos:pos + caplen] = cap_bytes
-        pos += caplen
-        buf[pos] = len(extra_caps)
-        pos += 1
-        for packed in packed_extras:
-            clen = len(packed)
-            buf[pos] = clen >> 8
-            buf[pos + 1] = clen & 0xFF
-            pos += 2
-            buf[pos:pos + clen] = packed
-            pos += clen
-        buf[pos:] = data
-        return bytes(buf)
+        return b"".join((prefix, tail, cap_bytes, b"\x00", data))
 
     @classmethod
     def unpack(cls, raw):

@@ -37,6 +37,24 @@ MAX_DATAGRAM = 60000
 _AGG_MAGIC = b"AB1"
 _AGG_HEADER = len(_AGG_MAGIC)
 
+#: Magic prefix of a *control-plane* datagram: a tiny out-of-band lane
+#: (replica join/leave, liveness pings) that never carries capabilities
+#: and never enters the message codec or admission path.  One kind byte
+#: follows the magic, then an opaque payload.  Cannot collide with plain
+#: messages (``b"AM"``) or aggregate carriers (``b"AB1"``).
+_CTL_MAGIC = b"AC1"
+_CTL_HEADER = len(_CTL_MAGIC)
+
+#: Control kinds: liveness probe and its kernel-level answer.  The pump
+#: answers PING itself — health checking a station must not depend on
+#: any server being registered on it.
+CTL_PING = b"P"
+CTL_PONG = b"O"
+#: Replica membership kinds, interpreted by whoever registered an
+#: ``on_control`` handler (see :mod:`repro.ipc.replica`).
+CTL_JOIN = b"J"
+CTL_LEAVE = b"L"
+
 
 class _BatchSink:
     """Admission-snapshot marker wrapping a *batch* request handler.
@@ -137,6 +155,12 @@ class SocketNode:
         self._egress = deque()
         self.sent = 0
         self.received = 0
+        # Broadcast fallback and control-lane sinks: snapshot tuples,
+        # replaced wholesale under _lock, read lock-free by the pump.
+        self._broadcast_handlers = ()
+        self._control_handlers = ()
+        self.control_sent = 0
+        self.control_received = 0
         self._pump = threading.Thread(target=self._pump_loop, daemon=True)
         self._pump.start()
 
@@ -199,6 +223,61 @@ class SocketNode:
     # Same signature as Nic.put_owned; serialisation makes the copy
     # question moot here, so the plain path is reused.
     put_owned = put
+
+    def put_broadcast(self, message):
+        """Offer a frame to every connected peer — the loopback stand-in
+        for a broadcast segment (station-API parity with
+        :meth:`Nic.put_broadcast`; LOCATE rides this)."""
+        return self.put(message, None)
+
+    def on_broadcast(self, handler):
+        """Register ``handler(frame)`` for frames no admission sink
+        claims.  On a real segment a broadcast is just a datagram every
+        station receives; on loopback the closest analogue is "arrived
+        but addressed to no GET here" — which is exactly what a LOCATE
+        probe looks like to a responder.  Handlers filter by command."""
+        with self._lock:
+            self._broadcast_handlers = self._broadcast_handlers + (handler,)
+        return handler
+
+    # ------------------------------------------------------------------
+    # control-plane lane (join/leave/health)
+    # ------------------------------------------------------------------
+
+    def send_control(self, kind, payload=b"", dst=None):
+        """Transmit one control datagram (``kind`` is a single byte).
+
+        Bypasses the egress buffer deliberately: membership and health
+        traffic must not queue behind a data burst.  Without ``dst`` the
+        datagram is offered to every connected peer.
+        """
+        if len(kind) != 1:
+            raise ValueError("control kind must be a single byte")
+        raw = _CTL_MAGIC + kind + payload
+        if len(raw) > MAX_DATAGRAM:
+            raise ValueError("control payload exceeds datagram cap")
+        self.control_sent += 1
+        if dst is not None:
+            self._sendto(raw, dst)
+            return True
+        peers = self._peer_snapshot
+        for peer in peers:
+            self._sendto(raw, peer)
+        return bool(peers)
+
+    def on_control(self, handler):
+        """Register ``handler(kind, payload, src)`` for inbound control
+        datagrams; runs on the pump thread.  Returns the handler so a
+        caller can later :meth:`off_control` it."""
+        with self._lock:
+            self._control_handlers = self._control_handlers + (handler,)
+        return handler
+
+    def off_control(self, handler):
+        with self._lock:
+            self._control_handlers = tuple(
+                h for h in self._control_handlers if h is not handler
+            )
 
     def _send_run(self, raws, dst):
         """Send a run of packed frames to one destination, coalesced.
@@ -568,6 +647,25 @@ class SocketNode:
             admitted = 0
             batch_runs = None
             for raw, src in expanded:
+                if raw[:_CTL_HEADER] == _CTL_MAGIC:
+                    # Control lane: one kind byte + opaque payload, never
+                    # unpacked as a message.  PING is answered by the
+                    # station itself — liveness must not depend on any
+                    # server being registered here.
+                    kind = raw[_CTL_HEADER:_CTL_HEADER + 1]
+                    payload = raw[_CTL_HEADER + 1:]
+                    self.control_received += 1
+                    if kind == CTL_PING:
+                        try:
+                            self._sendto(_CTL_MAGIC + CTL_PONG + payload, src)
+                        except OSError:
+                            pass
+                    for handler in self._control_handlers:
+                        try:
+                            handler(kind, payload, src)
+                        except Exception:
+                            pass  # a crashing handler must not kill the pump
+                    continue
                 try:
                     message = unpack(raw)
                 except Exception:
@@ -577,7 +675,18 @@ class SocketNode:
                 # admits later datagrams of the same batch.
                 sink = self._admission.get(message.dest)
                 if sink is None:
-                    continue  # frames for ports nobody GETs are dropped
+                    # Frames for ports nobody GETs here go to the
+                    # broadcast fallback (a LOCATE probe is exactly such
+                    # a frame); with no handlers they drop as before.
+                    handlers = self._broadcast_handlers
+                    if handlers:
+                        frame = Frame(src=src, dst_machine=None, message=message)
+                        for handler in handlers:
+                            try:
+                                handler(frame)
+                            except Exception:
+                                pass
+                    continue
                 admitted += 1
                 frame = Frame(src=src, dst_machine=None, message=message)
                 kind = type(sink)

@@ -247,6 +247,15 @@ class ClientCapabilityCache(ShardedLruCache):
     other stripes keep serving the request path.
     """
 
+    def __init__(self, max_entries=1024, shards=8):
+        super().__init__(max_entries, shards)
+        #: Revocation observability: sweeps requested / triples dropped.
+        #: The replica fan-out tests read these to prove every replica's
+        #: cache actually processed the revocation, not just the one the
+        #: client happened to talk to.
+        self.forget_calls = 0
+        self.forgotten = 0
+
     def shard_key(self, key):
         capability = key[0]
         return (capability.port, capability.object)
@@ -265,10 +274,13 @@ class ClientCapabilityCache(ShardedLruCache):
         the client learned it was refreshed or destroyed, so the sealed
         forms it cached are for dead secrets.  Sweeps only the owning
         stripe.  Returns the count."""
-        return self.evict_where(
+        evicted = self.evict_where(
             lambda key, _value: key[0].port == port and key[0].object == number,
             shard_indices=(self._object_shard(port, number),),
         )
+        self.forget_calls += 1
+        self.forgotten += evicted
+        return evicted
 
 
 class ServerCapabilityCache(ShardedLruCache):
@@ -293,6 +305,9 @@ class ServerCapabilityCache(ShardedLruCache):
         self._hints_lock = threading.Lock()
         self._hints_complete = True
         self._hint_limit = 4 * max_entries
+        #: Revocation observability, mirroring ClientCapabilityCache.
+        self.forget_calls = 0
+        self.forgotten = 0
 
     def lookup(self, sealed, source):
         return self.get((sealed, source))
@@ -344,6 +359,7 @@ class ServerCapabilityCache(ShardedLruCache):
         with self._hints_lock:
             complete = self._hints_complete
             mask = self._hints.pop((port, number), 0) if complete else 0
+        self.forget_calls += 1
         if complete:
             if not mask:
                 return 0
@@ -352,7 +368,9 @@ class ServerCapabilityCache(ShardedLruCache):
             ]
         else:
             shard_indices = None
-        return self.evict_where(
+        evicted = self.evict_where(
             lambda _key, cap: cap.port == port and cap.object == number,
             shard_indices=shard_indices,
         )
+        self.forgotten += evicted
+        return evicted
