@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke bench-recovery-smoke bench-replica-smoke
+.PHONY: test test-fast bench bench-smoke bench-udp-smoke bench-des-smoke bench-shard-smoke bench-fault-smoke bench-recovery-smoke bench-replica-smoke bench-chaos-smoke
 
 ## Tier-1 verification: the full test suite, fail-fast.
 test:
@@ -55,3 +55,12 @@ bench-recovery-smoke:
 ## invalidation), and the bounded-ingress overload flood on the pool.
 bench-replica-smoke:
 	$(PYTHON) benchmarks/bench_replica.py --smoke
+
+## Chaos suite: 20 seeded composed-fault scenarios (partitions landing
+## mid-revocation-fan-out, replica kill inside a drop burst, power fail
+## during a partition, intruder replay from the dark side of a cut,
+## multi-hop delegation across a heal) — asserts zero invariant
+## violations, bit-identical double runs, and the partition primitive
+## severing/healing on all three delivery disciplines.
+bench-chaos-smoke:
+	$(PYTHON) benchmarks/bench_chaos.py --smoke

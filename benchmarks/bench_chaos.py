@@ -1,0 +1,479 @@
+"""Chaos scenario sweep: composed faults, machine-checked invariants.
+
+Every arm here runs a :class:`repro.testing.chaos.ScenarioRunner` world —
+a replicated (or durable single) capability service on the DES virtual
+wire — under a *timeline* of composed faults: partitions landing
+mid-revocation-fan-out, a replica killed inside a drop burst, power
+failing while the network is down, an intruder replaying captured
+frames from the dark side of a cut.  Each scenario is drawn from one
+seed, runs **twice**, and the two result dicts (trace included) must be
+bit-identical — the determinism-by-double-run contract every DES
+harness in this repo shares.
+
+Workloads (stable keys in ``BENCH_throughput.json``)
+----------------------------------------------------
+``chaos_matrix``
+    The seeded scenario matrix: 7 families x 2-3 seeds = 20 scenarios,
+    every invariant checked continuously and at quiesce, zero
+    violations tolerated, every scenario deterministic by double run.
+``chaos_partition_disciplines``
+    The partition primitive demonstrated on all three delivery
+    disciplines (synchronous, deferred event loop, DES): a transaction
+    succeeds, the link is severed and the same transaction times out,
+    the link heals and it succeeds again.
+
+Scenario families
+-----------------
+``partition_revocation_fanout``
+    One replica is isolated *while* a REFRESH revokes the workload's
+    capability; the fan-out to the dark replica fails, the partition
+    heals, ``reconcile()`` re-drives it — and the revoked capability
+    must then validate nowhere (no phantom authority).
+``kill_primary_mid_storm``
+    Replica 0 crashes inside a client-side drop burst; the workload
+    survives by failover and the survivors stay convergent.
+``asymmetric_partition``
+    Only the server->client direction is cut: requests execute, acks
+    are lost, retries fail over — per-replica effectively-once must
+    hold even though the pool as a whole is at-least-once.
+``power_fail_during_partition``
+    Durable single server: the client is partitioned away, power fails
+    mid-checkpoint, the network heals, the server reboots from its WAL
+    — every acked increment must survive (durability).
+``intruder_replay_mid_partition``
+    An intruder taps the wire, the capability is refreshed (revoking
+    the captured one), the legitimate client is partitioned away, and
+    the intruder replays its captures — zero executions may land.
+``delegation_chain``
+    A->B->C multi-hop delegation, each hop restricting rights before
+    forwarding, with a replica partitioned and healed mid-chain; the
+    final capability must carry *exactly* the intended rights
+    everywhere (read works, write is denied, nothing lost).
+``drop_burst_partition``
+    Background loss + a per-link drop/delay burst + a replica isolated
+    and healed, all composed over one timeline.
+"""
+
+import sys
+
+from repro.crypto.randomsrc import RandomSource
+from repro.errors import PermissionDenied, RPCTimeout
+from repro.ipc.server import ObjectServer, command
+from repro.ipc.stdops import USER_BASE
+from repro.net.message import Message
+from repro.net.network import SimNetwork
+from repro.net.nic import Nic
+
+
+def _chaos_api():
+    """The chaos-engine API, or None on source trees that predate it."""
+    try:
+        from repro.net.faults import FaultPlan
+
+        if not hasattr(FaultPlan, "sever"):
+            return None
+        from repro.testing import chaos
+    except ImportError:
+        return None
+    return chaos
+
+
+# ----------------------------------------------------------------------
+# the scenario families (one function per family, seeded)
+# ----------------------------------------------------------------------
+
+
+def _scn_partition_revocation_fanout(seed):
+    from repro.testing.chaos import (
+        STANDARD_INVARIANTS,
+        ScenarioRunner,
+        no_lost_authority,
+        no_phantom_authority,
+    )
+
+    r = ScenarioRunner("partition_revocation_fanout", seed)
+    old_cap = r.capability
+    state = {"fresh": None}
+    r.at(0.25, "isolate_r2", lambda: r.isolate_replica(2))
+    r.at(0.30, "refresh", lambda: state.__setitem__("fresh", r.refresh()))
+    r.at(0.90, "rejoin_r2", lambda: r.rejoin_replica(2))
+    r.at(0.95, "reconcile", r.reconcile)
+    r.continuously(*STANDARD_INVARIANTS[:3])
+    r.run_ops(6, spacing=0.05)
+    r.run_ops(8, capability=state["fresh"], spacing=0.05)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    r.check(no_phantom_authority(old_cap))
+    if state["fresh"] is not None:
+        r.check(no_lost_authority(state["fresh"]))
+    return r.result()
+
+
+def _scn_kill_primary_mid_storm(seed):
+    from repro.testing.chaos import STANDARD_INVARIANTS, ScenarioRunner
+
+    r = ScenarioRunner("kill_primary_mid_storm", seed, client_timeout=0.8)
+    r.at(0.20, "burst", lambda: r.burst(r.client_machine, drop=0.3))
+    r.at(0.30, "kill_r0", lambda: r.kill_replica(0))
+    r.at(0.80, "calm", lambda: r.calm(r.client_machine))
+    r.continuously(*STANDARD_INVARIANTS[:3])
+    r.run_ops(12, spacing=0.07)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    return r.result()
+
+
+def _scn_asymmetric_partition(seed):
+    from repro.testing.chaos import (
+        STANDARD_INVARIANTS,
+        ScenarioRunner,
+        acked_implies_executed,
+        effectively_once,
+    )
+
+    r = ScenarioRunner("asymmetric_partition", seed, client_timeout=0.6)
+
+    def cut_ack_path():
+        # Requests still arrive and execute; only the replies die.
+        r.plan.partition(r.machines, [r.client_machine], symmetric=False)
+
+    def heal_ack_path():
+        r.plan.heal_partition(r.machines, [r.client_machine])
+
+    r.at(0.25, "cut_ack_path", cut_ack_path)
+    r.at(0.85, "heal_ack_path", heal_ack_path)
+    r.continuously(effectively_once, acked_implies_executed)
+    r.run_ops(10, spacing=0.06)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    return r.result()
+
+
+def _scn_power_fail_during_partition(seed):
+    from repro.testing.chaos import (
+        ScenarioRunner,
+        conservation,
+        durability,
+        effectively_once,
+    )
+
+    r = ScenarioRunner("power_fail_during_partition", seed,
+                       replicas=1, durable=True, client_timeout=0.6,
+                       retry_attempts=2)
+    r.at(0.20, "partition_client", r.partition_client)
+    r.at(0.35, "power_fail", lambda: r.power_fail(after_writes=9))
+    r.at(0.55, "heal_client", r.heal_client)
+    r.continuously(effectively_once, conservation)
+    r.run_ops(8, spacing=0.06)
+    r.reboot_server()
+    r.run_ops(4, spacing=0.03)
+    r.quiesce()
+    # acked_implies_executed is per-incarnation (the respawn's log starts
+    # empty); across a reboot the durability checker carries that burden.
+    r.check(effectively_once, conservation, durability)
+    return r.result()
+
+
+def _scn_intruder_replay_mid_partition(seed):
+    from repro.testing.chaos import (
+        STANDARD_INVARIANTS,
+        ScenarioRunner,
+        no_intruder_executions,
+        no_lost_authority,
+        no_phantom_authority,
+    )
+
+    r = ScenarioRunner("intruder_replay_mid_partition", seed)
+    old_cap = r.capability
+    state = {"fresh": None}
+    r.start_capture()
+    r.run_ops(5, spacing=0.04)  # the intruder captures these INCRs
+    r.at(0.40, "refresh", lambda: state.__setitem__("fresh", r.refresh()))
+    r.at(0.55, "partition_client", r.partition_client)
+    r.at(0.60, "replay", r.replay_captured)
+    r.at(0.80, "heal_client", r.heal_client)
+    r.run_ops(6, spacing=0.08)
+    r.run_ops(3, capability=state["fresh"], spacing=0.05)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    r.check(no_intruder_executions, no_phantom_authority(old_cap))
+    if state["fresh"] is not None:
+        r.check(no_lost_authority(state["fresh"]))
+    return r.result()
+
+
+def _scn_delegation_chain(seed):
+    from repro.testing.chaos import (
+        CMD_GET,
+        CMD_INCR,
+        RIGHT_READ,
+        RIGHT_WRITE,
+        STANDARD_INVARIANTS,
+        ScenarioRunner,
+        no_lost_authority,
+    )
+
+    r = ScenarioRunner("delegation_chain", seed)
+    alice = r._make_client("alice")
+    bob = r._make_client("bob")
+    carol = r._make_client("carol")
+    # Hop 1: the owner keeps read+write for Bob.
+    cap_b = alice.restrict(r.capability, int(RIGHT_READ | RIGHT_WRITE))
+    r.note("delegate", "alice->bob rights=0x%02x" % int(cap_b.rights))
+    # A replica drops out and rejoins *between* the hops — restriction
+    # is fabricated from mirrored secrets, so the chain must not care.
+    r.isolate_replica(1)
+    r.note("action", "isolate_r1")
+    cap_c = bob.restrict(cap_b, int(RIGHT_READ))
+    r.note("delegate", "bob->carol rights=0x%02x" % int(cap_c.rights))
+    r.rejoin_replica(1)
+    r.note("action", "rejoin_r1")
+    r.reconcile()
+    # End to end: exactly the intended rights survived the chain.
+    value = int(carol.call(CMD_GET, capability=cap_c).data)
+    r.note("delegate", "carol reads %d" % value)
+    try:
+        carol.call(CMD_INCR, capability=cap_c)
+    except PermissionDenied:
+        r.note("delegate", "carol write denied")
+    else:
+        r.violations.append(
+            "delegation: read-only hop capability allowed a write"
+        )
+    r.run_ops(4, spacing=0.03)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    r.check(no_lost_authority(cap_c, RIGHT_READ))
+    return r.result()
+
+
+def _scn_drop_burst_partition(seed):
+    from repro.testing.chaos import (
+        STANDARD_INVARIANTS,
+        ScenarioRunner,
+        acked_implies_executed,
+        conservation,
+        effectively_once,
+    )
+
+    r = ScenarioRunner("drop_burst_partition", seed, drop=0.05,
+                       client_timeout=0.8)
+    r.at(0.15, "burst",
+         lambda: r.burst(r.client_machine, drop=0.35, delay=0.2))
+    r.at(0.35, "isolate_r2", lambda: r.isolate_replica(2))
+    r.at(0.70, "rejoin_r2", lambda: r.rejoin_replica(2))
+    r.at(0.80, "calm", lambda: r.calm(r.client_machine))
+    r.continuously(effectively_once, conservation, acked_implies_executed)
+    r.run_ops(12, spacing=0.06)
+    r.quiesce()
+    r.check(*STANDARD_INVARIANTS)
+    return r.result()
+
+
+#: The matrix: (family function, seeds).  7 families x 2-3 seeds = 20
+#: scenarios; every one runs twice and must replay bit-identically.
+SCENARIO_MATRIX = (
+    (_scn_partition_revocation_fanout, (11, 12, 13)),
+    (_scn_kill_primary_mid_storm, (21, 22, 23)),
+    (_scn_asymmetric_partition, (31, 32, 33)),
+    (_scn_power_fail_during_partition, (41, 42, 43)),
+    (_scn_intruder_replay_mid_partition, (51, 52, 53)),
+    (_scn_delegation_chain, (61, 62)),
+    (_scn_drop_burst_partition, (71, 72, 73)),
+)
+
+
+def chaos_matrix(seeds_per_family=None):
+    """Run the full scenario matrix, each scenario twice (determinism).
+
+    ``seeds_per_family`` trims each family's seed tuple (CI smoke keeps
+    the full matrix — the scenarios are virtual-time, so wall cost is
+    compute only — but the knob exists for quick local iteration).
+    """
+    chaos = _chaos_api()
+    if chaos is None:
+        return None
+    scenarios = []
+    for family, seeds in SCENARIO_MATRIX:
+        for seed in seeds[:seeds_per_family]:
+            scenarios.append((family, seed))
+    results = []
+    nondeterministic = []
+    violations = []
+    for family, seed in scenarios:
+        result = family(seed)
+        again = family(seed)
+        if again != result:
+            nondeterministic.append("%s@%d" % (result["name"], seed))
+        for violation in result["violations"]:
+            violations.append("%s@%d: %s" % (result["name"], seed, violation))
+        results.append(result)
+    return {
+        "scenarios": len(results),
+        "families": len(SCENARIO_MATRIX),
+        "acked": sum(r["acked"] for r in results),
+        "failed": sum(r["failed"] for r in results),
+        "violations": violations,
+        "nondeterministic": nondeterministic,
+        "deterministic": not nondeterministic,
+        "per_scenario": [
+            {
+                "name": r["name"],
+                "seed": r["seed"],
+                "acked": r["acked"],
+                "failed": r["failed"],
+                "partition_drops": r["faults"].get("partition_drops", 0),
+                "virtual_seconds": r["virtual_seconds"],
+            }
+            for r in results
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# the partition primitive on every delivery discipline
+# ----------------------------------------------------------------------
+
+
+class _EchoServer(ObjectServer):
+    service_name = "chaos bench echo"
+
+    @command(USER_BASE)
+    def _echo(self, ctx):
+        return ctx.ok(data=ctx.request.data)
+
+
+def _discipline_world(discipline, plan):
+    from repro.net.sched import LatencyModel, VirtualClock
+
+    if discipline == "des":
+        net = SimNetwork(
+            clock=VirtualClock(),
+            latency=LatencyModel(rtt_ms=2.8, jitter_ms=0.2, seed=5),
+            faults=plan,
+        )
+    else:
+        net = SimNetwork(synchronous=(discipline == "synchronous"),
+                         faults=plan)
+    server = _EchoServer(Nic(net), rng=RandomSource(seed=5)).start()
+    client = Nic(net)
+    return net, server, client
+
+
+def _echo_once(client, server, payload, timeout=0.25):
+    from repro.ipc.rpc import trans
+
+    reply = trans(
+        client,
+        server.put_port,
+        Message(command=USER_BASE, data=payload),
+        rng=RandomSource(seed=9),
+        timeout=timeout,
+    )
+    return reply.data == payload
+
+
+def chaos_partition_disciplines():
+    """Sever/heal on all three disciplines: ok -> timeout -> ok again."""
+    chaos = _chaos_api()
+    if chaos is None:
+        return None
+    from repro.net.faults import FaultPlan
+
+    out = {}
+    for discipline in ("synchronous", "deferred", "des"):
+        plan = FaultPlan(seed=5)
+        net, server, client = _discipline_world(discipline, plan)
+        before = _echo_once(client, server, b"pre-cut")
+        plan.sever(src=client.address, dst=server.node.address)
+        cut_timed_out = False
+        try:
+            _echo_once(client, server, b"mid-cut")
+        except RPCTimeout:
+            cut_timed_out = True
+        plan.heal(src=client.address, dst=server.node.address)
+        after = _echo_once(client, server, b"post-heal")
+        stats = plan.stats()
+        out[discipline] = {
+            "before_cut_ok": before,
+            "cut_timed_out": cut_timed_out,
+            "healed_ok": after,
+            "partition_drops": stats["partition_drops"],
+            "by_link": stats["by_link"],
+        }
+    return out
+
+
+#: Registry merged into run_bench.py's workload table.
+WORKLOADS = {
+    "chaos_matrix": chaos_matrix,
+    "chaos_partition_disciplines": chaos_partition_disciplines,
+}
+
+#: CI-sized overrides, same shape as bench_throughput.SMOKE_OVERRIDES.
+#: The matrix is virtual-time, so smoke keeps all 20 scenarios.
+SMOKE_OVERRIDES = {}
+
+
+def main(argv=None):
+    """Stand-alone entry point (``make bench-chaos-smoke``).
+
+    Runs the matrix and the disciplines arm and *asserts* the
+    acceptance bars: >= 20 scenarios, zero invariant violations, every
+    scenario bit-identical across its double run, and the partition
+    primitive severing and healing on all three delivery disciplines.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode (same matrix; asserts the bars)")
+    args = parser.parse_args(argv)
+
+    matrix = chaos_matrix(**SMOKE_OVERRIDES.get("chaos_matrix", {})
+                          if args.smoke else {})
+    if matrix is None:
+        print("chaos API absent on this tree; nothing to check")
+        return 0
+
+    failures = []
+    for row in matrix["per_scenario"]:
+        print("  %-32s seed=%-3d acked=%3d failed=%3d pdrops=%3d %8.3fs virt"
+              % (row["name"], row["seed"], row["acked"], row["failed"],
+                 row["partition_drops"], row["virtual_seconds"]))
+    print("  %d scenarios / %d families, %d acked, %d failed ops"
+          % (matrix["scenarios"], matrix["families"],
+             matrix["acked"], matrix["failed"]))
+    if matrix["scenarios"] < 20:
+        failures.append("only %d scenarios (< 20 bar)" % matrix["scenarios"])
+    for violation in matrix["violations"]:
+        failures.append("invariant violation: %s" % violation)
+    for name in matrix["nondeterministic"]:
+        failures.append("double run diverged: %s" % name)
+
+    disciplines = chaos_partition_disciplines()
+    for discipline, row in sorted(disciplines.items()):
+        verdict = (row["before_cut_ok"] and row["cut_timed_out"]
+                   and row["healed_ok"])
+        print("  partition on %-12s %s (pdrops=%d)"
+              % (discipline, "ok/cut/healed" if verdict else "BROKEN",
+                 row["partition_drops"]))
+        if not verdict:
+            failures.append(
+                "partition primitive broken on %s: %r" % (discipline, row))
+        if row["partition_drops"] <= 0:
+            failures.append("no partition drops counted on %s" % discipline)
+
+    if failures:
+        print("FAILURES:")
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("chaos bars hold: %d deterministic scenarios, 0 violations, "
+          "partition severs/heals on all 3 disciplines"
+          % matrix["scenarios"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,8 @@ def append_history(report, smoke, path=HISTORY):
 
 
 def run_workloads(smoke=False):
+    from bench_chaos import SMOKE_OVERRIDES as CHAOS_SMOKE_OVERRIDES
+    from bench_chaos import WORKLOADS as CHAOS_WORKLOADS
     from bench_des import SMOKE_OVERRIDES as DES_SMOKE_OVERRIDES
     from bench_des import WORKLOADS as DES_WORKLOADS
     from bench_fault import SMOKE_OVERRIDES as FAULT_SMOKE_OVERRIDES
@@ -70,6 +72,7 @@ def run_workloads(smoke=False):
     workloads.update(FAULT_WORKLOADS)
     workloads.update(RECOVERY_WORKLOADS)
     workloads.update(REPLICA_WORKLOADS)
+    workloads.update(CHAOS_WORKLOADS)
     overrides = dict(SMOKE_OVERRIDES)
     overrides.update(UDP_SMOKE_OVERRIDES)
     overrides.update(DES_SMOKE_OVERRIDES)
@@ -77,6 +80,7 @@ def run_workloads(smoke=False):
     overrides.update(FAULT_SMOKE_OVERRIDES)
     overrides.update(RECOVERY_SMOKE_OVERRIDES)
     overrides.update(REPLICA_SMOKE_OVERRIDES)
+    overrides.update(CHAOS_SMOKE_OVERRIDES)
     results = {}
     for name, workload in workloads.items():
         kwargs = overrides.get(name, {}) if smoke else {}

@@ -68,6 +68,20 @@ class BadRequest(RPCError):
     code = 23
 
 
+class PartitionSuspected(RPCTimeout):
+    """Every known replica of a multi-member service went silent at once.
+
+    One dead member is a crash; the *whole* pool timing out in a single
+    transaction is the signature of an unreachable network, so the retry
+    layer raises this RPCTimeout subclass instead.  Callers that only
+    know RPCTimeout keep working; callers that care (failover policies,
+    locate caches) can suspect a partition and re-probe after heal
+    rather than writing the service off as dead.
+    """
+
+    code = 24
+
+
 class ServerError(AmoebaError):
     """Base class for per-server semantic failures."""
 
@@ -173,6 +187,7 @@ for _cls in (
     PortNotLocated,
     RPCTimeout,
     BadRequest,
+    PartitionSuspected,
     ServerError,
     OutOfSpace,
     NameNotFound,

@@ -8,7 +8,12 @@ like calling its object table directly.
 
 from repro.core.rights import Rights
 from repro.crypto.randomsrc import RandomSource
-from repro.errors import RPCTimeout, SecurityError, code_to_error
+from repro.errors import (
+    PartitionSuspected,
+    RPCTimeout,
+    SecurityError,
+    code_to_error,
+)
 from repro.ipc import stdops
 from repro.ipc.rpc import trans
 from repro.net.message import Message
@@ -109,8 +114,14 @@ class ServiceClient:
                 retry=self.retry,
                 locator=self.locator,
             )
-        except RPCTimeout:
+        except RPCTimeout as exc:
             if self.locator is not None:
+                if isinstance(exc, PartitionSuspected):
+                    # The whole pool went silent at once: keep nothing
+                    # warm, but also *remember* the suspicion so the
+                    # next locate re-broadcasts — the heal is observed
+                    # by the HERE answer coming back.
+                    self.locator.suspect(self.put_port)
                 # The cached mapping may be the whole problem — a crashed
                 # or migrated server (with a replica set, trans already
                 # forgot each dead member on the way here, so this drops

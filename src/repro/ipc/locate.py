@@ -177,6 +177,12 @@ class Locator:
         # on the *same* stripe can lose an increment, the same
         # best-effort accounting the old `hits += 1` counters had.
         self._stripe_counts = [(0, 0)] * self.cache.shard_count
+        # Ports whose whole replica pool went silent (PartitionSuspected):
+        # the next locate() skips the warm cache and re-broadcasts, which
+        # is how a healed partition is *observed* rather than waited out.
+        self._suspected = set()
+        #: Broadcasts forced by a partition suspicion (experiment counter).
+        self.suspicion_probes = 0
 
     @property
     def hits(self):
@@ -212,8 +218,14 @@ class Locator:
         port = as_port(port)
         cached = self.cache.get(port)
         if cached is not None:
-            self._count(port, hit=True)
-            return cached
+            if port not in self._suspected:
+                self._count(port, hit=True)
+                return cached
+            # Suspected partition: the cached mapping may be stale on
+            # the far side of a cut.  Fall through to a fresh broadcast
+            # — a HERE answer proves the pool reachable again and
+            # clears the suspicion.
+            self.suspicion_probes += 1
         self._count(port, hit=False)
         # Snapshot the stripe's invalidation epoch *before* broadcasting:
         # if a crash is detected while the round trip is in flight, the
@@ -264,6 +276,7 @@ class Locator:
                     # for *this* call, it just must not repopulate the
                     # cache (it may predate the detected crash).
                     self.cache.put(port, located, epoch=epoch)
+                    self._suspected.discard(port)
                     return located
                 wait *= 2
                 if read_clock() >= deadline and attempt < retries:
@@ -288,6 +301,16 @@ class Locator:
         if answered_port != port:
             return None
         return replicas
+
+    def suspect(self, port):
+        """Flag a port as possibly partitioned away: keep the cached
+        mapping (the members are not known dead) but force the next
+        :meth:`locate` to re-broadcast.  An answer clears the flag."""
+        self._suspected.add(as_port(port))
+
+    def suspects(self, port):
+        """True while ``port`` awaits a post-partition re-broadcast."""
+        return as_port(port) in self._suspected
 
     def invalidate(self, port):
         """Forget a cached location (server crashed or migrated); only

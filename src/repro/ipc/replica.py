@@ -324,6 +324,11 @@ class ReplicaRegistry:
         self._lock = threading.Lock()
         self._members = {}   # port -> list of machines (join order)
         self._policies = {}  # port -> policy override
+        # port -> set of machines suspected unreachable (a partition
+        # symptom, NOT a crash): suspicion is advisory — the member
+        # keeps its membership (and its generation state) and is merely
+        # steered around until unsuspected or re-joined.
+        self._suspects = {}
 
     def join(self, port, machine, policy=None):
         port = as_port(port)
@@ -333,6 +338,10 @@ class ReplicaRegistry:
                 members.append(machine)
             if policy is not None:
                 self._policies[port] = policy
+            # A (re)join is proof of reachability.
+            suspects = self._suspects.get(port)
+            if suspects is not None:
+                suspects.discard(machine)
         return machine
 
     def leave(self, port, machine):
@@ -344,20 +353,69 @@ class ReplicaRegistry:
             members.remove(machine)
             if not members:
                 del self._members[port]
+            suspects = self._suspects.get(port)
+            if suspects is not None:
+                suspects.discard(machine)
+                if not suspects:
+                    del self._suspects[port]
         return True
+
+    def suspect(self, port, machine):
+        """Mark a *member* as unreachable-but-not-evicted.  Unknown
+        machines are ignored (suspicion cannot invent members)."""
+        port = as_port(port)
+        with self._lock:
+            members = self._members.get(port)
+            if members is None or machine not in members:
+                return False
+            self._suspects.setdefault(port, set()).add(machine)
+        return True
+
+    def unsuspect(self, port, machine):
+        """Clear one suspicion (the member answered again)."""
+        port = as_port(port)
+        with self._lock:
+            suspects = self._suspects.get(port)
+            if suspects is None or machine not in suspects:
+                return False
+            suspects.discard(machine)
+            if not suspects:
+                del self._suspects[port]
+        return True
+
+    def suspected(self, port):
+        """The currently-suspected members of ``port`` (a fresh tuple,
+        in join order)."""
+        port = as_port(port)
+        with self._lock:
+            suspects = self._suspects.get(port)
+            if not suspects:
+                return ()
+            return tuple(m for m in self._members.get(port, ())
+                         if m in suspects)
 
     def members(self, port):
         with self._lock:
             return tuple(self._members.get(as_port(port), ()))
 
     def replica_set(self, port):
-        """A fresh :class:`ReplicaSet` for ``port``, or None."""
+        """A fresh :class:`ReplicaSet` for ``port``, or None.
+
+        Suspected members are steered around — omitted from the set —
+        *unless* that would leave it empty: suspicion is advisory, and
+        an all-suspected pool must still be tried (the suspicion may be
+        our side of the partition, not theirs)."""
         port = as_port(port)
         with self._lock:
             members = self._members.get(port)
             if not members:
                 return None
             policy = self._policies.get(port, self.default_policy)
+            suspects = self._suspects.get(port)
+            if suspects:
+                trusted = tuple(m for m in members if m not in suspects)
+                if trusted:
+                    return ReplicaSet(trusted, policy=policy)
             return ReplicaSet(tuple(members), policy=policy)
 
     def ports(self):
@@ -494,6 +552,10 @@ class ReplicaObjectServer(ObjectServer):
         #: (machine, op, number) triples that exhausted their retries.
         self.fanout_sent = 0
         self.fanout_failures = []
+        # Full (peer, opcode, payload, op_name, number) records of those
+        # same failures, kept until reconcile() re-delivers them — the
+        # repair queue a healed partition is drained through.
+        self._fanout_pending = []
 
     # -- outbound fan-out ----------------------------------------------
 
@@ -504,23 +566,55 @@ class ReplicaObjectServer(ObjectServer):
         client regardless (the capability is dead here; a lagging peer
         is a liveness problem, not a correctness rollback)."""
         for peer in self.peers:
-            request = Message(command=opcode, data=payload)
-            try:
-                trans(
-                    self.control_node,
-                    self.put_port,
-                    request,
-                    rng=self.rng,
-                    timeout=self.fanout_timeout,
-                    expect_signature=self.control_image,
-                    dst_machine=peer,
-                    signature=self.signature,
-                    retry=self.fanout_retry,
-                )
-            except (RPCTimeout, PortNotLocated):
-                self.fanout_failures.append((peer, op_name, number))
-            else:
+            if self._send_control(peer, opcode, payload):
                 self.fanout_sent += 1
+            else:
+                self.fanout_failures.append((peer, op_name, number))
+                self._fanout_pending.append(
+                    (peer, opcode, payload, op_name, number)
+                )
+
+    def _send_control(self, peer, opcode, payload):
+        request = Message(command=opcode, data=payload)
+        try:
+            trans(
+                self.control_node,
+                self.put_port,
+                request,
+                rng=self.rng,
+                timeout=self.fanout_timeout,
+                expect_signature=self.control_image,
+                dst_machine=peer,
+                signature=self.signature,
+                retry=self.fanout_retry,
+            )
+        except (RPCTimeout, PortNotLocated):
+            return False
+        return True
+
+    def reconcile(self):
+        """Re-drive every fan-out that failed (e.g. across a partition).
+
+        The peer-side CTL_APPLY handlers are generation-guarded and
+        idempotent, so re-delivery after heal is safe however many times
+        it takes.  Still-unreachable peers stay queued for the next
+        call.  Returns the number of repairs delivered.
+        ``fanout_failures`` is left intact as the historical record."""
+        pending, self._fanout_pending = self._fanout_pending, []
+        repaired = 0
+        for record in pending:
+            peer, opcode, payload, _op_name, _number = record
+            if self._send_control(peer, opcode, payload):
+                self.fanout_sent += 1
+                repaired += 1
+            else:
+                self._fanout_pending.append(record)
+        return repaired
+
+    @property
+    def fanout_pending(self):
+        """Count of failed fan-outs awaiting :meth:`reconcile`."""
+        return len(self._fanout_pending)
 
     @command(stdops.STD_REFRESH)
     def _std_refresh(self, ctx):
@@ -595,6 +689,7 @@ class ReplicaObjectServer(ObjectServer):
             "peers": len(self.peers),
             "fanout_sent": self.fanout_sent,
             "fanout_failures": len(self.fanout_failures),
+            "fanout_pending": self.fanout_pending,
         }
         if self.reply_cache is not None:
             stats["dedup"] = self.reply_cache.stats()
@@ -715,6 +810,13 @@ class ReplicatedObjectServer:
 
     def replica_set(self):
         return self.registry.replica_set(self.put_port)
+
+    def reconcile(self):
+        """Re-drive failed revocation fan-outs on every live replica —
+        call after a partition heals; returns total repairs delivered."""
+        return sum(
+            server.reconcile() for server in self.servers if server.running
+        )
 
     def __repr__(self):
         return "ReplicatedObjectServer(port=%012x, replicas=%d)" % (
@@ -863,6 +965,19 @@ class ReplicaPool:
     def health(self, index, timeout=1.0):
         """Control-lane ping to one replica's data station."""
         return probe_liveness(self.arbiter, self.addresses[index], timeout)
+
+    def probe(self, index, timeout=1.0):
+        """Health-check one replica and update the registry's suspicion
+        state: a silent member is *suspected* (steered around, never
+        evicted — its generation state is intact behind the partition),
+        an answering one unsuspected.  Returns the ping verdict."""
+        alive = self.health(index, timeout)
+        machine = self.addresses[index]
+        if alive:
+            self.registry.unsuspect(self.put_port, machine)
+        else:
+            self.registry.suspect(self.put_port, machine)
+        return alive
 
     def kill(self, index, leave_registry=False):
         """SIGKILL one replica (the crash in the failover scenario).

@@ -26,7 +26,7 @@ import time
 
 from repro.core.ports import PORT_BYTES, Port, as_port
 from repro.crypto.randomsrc import RandomSource
-from repro.errors import PortNotLocated, RPCTimeout
+from repro.errors import PartitionSuspected, PortNotLocated, RPCTimeout
 from repro.net.network import SimNetwork
 from repro.net.nic import Nic
 from repro.net.sockets import SocketNode
@@ -393,6 +393,14 @@ def _trans_replicated(node, dest_port, request, rng, timeout,
             last_error = exc
             if locator is not None:
                 locator.invalidate_member(dest, machine)
+    if len(candidates) >= 2:
+        # One silent member is a crash; every member of a replicated
+        # pool going silent in one transaction smells like the network,
+        # not the service.
+        raise PartitionSuspected(
+            "no reply from any of %d replicas of port %r within %.3fs"
+            % (len(candidates), dest, timeout)
+        ) from last_error
     raise RPCTimeout(
         "no reply from any of %d replicas of port %r within %.3fs"
         % (len(candidates), dest, timeout)
@@ -732,6 +740,11 @@ def trans_many(
                 last_error = exc
                 if locator is not None:
                     locator.invalidate_member(dest, machine)
+        if len(candidates) >= 2:
+            raise PartitionSuspected(
+                "no replies from any of %d replicas of port %r within %.3fs"
+                % (len(candidates), dest, timeout)
+            ) from last_error
         raise RPCTimeout(
             "no replies from any of %d replicas of port %r within %.3fs"
             % (len(candidates), dest, timeout)

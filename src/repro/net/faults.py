@@ -42,6 +42,22 @@ Per-link overrides: ``links`` maps a source machine address, or a
 port-addressed sends), to a :class:`FaultSpec` replacing the defaults
 for frames on that link.
 
+Partitions
+----------
+:meth:`sever` cuts a *directed* link outright: a severed link transmits
+nothing — no drop roll, no hold-back, no counters besides
+``partition_drops``.  ``sever(src=a)`` cuts all of ``a``'s egress,
+``sever(dst=b)`` all ingress to ``b``, ``sever(a, b)`` just that
+direction; :meth:`partition` cuts two machine groups apart (both ways by
+default, one way with ``symmetric=False`` — the *asymmetric* partition
+where requests arrive but replies vanish), :meth:`isolate` cuts one
+machine off entirely.  :meth:`heal` / :meth:`heal_partition` /
+:meth:`rejoin` undo exactly what their counterparts cut.  Severed-link
+checks are pure set lookups so the healthy path pays nothing, and the
+cuts bind at *send* time and again at *delivery* time — a frame already
+in flight on the DES heap when the cut lands is lost too, exactly like
+a wire yanked mid-transmission.
+
 The plan is deliberately transport-agnostic: :meth:`apply` works on
 simulator :class:`~repro.net.network.Frame` objects and
 :meth:`apply_datagram` on raw UDP payloads, sharing the same decision
@@ -115,6 +131,12 @@ class FaultPlan:
         # Frames held back by a reorder/untimed-delay decision, released
         # behind the next frame that passes through the plan.
         self._held = []
+        # Directed cuts: (src, dst) severs one link, (src, None) all of
+        # src's egress, (None, dst) all ingress to dst.  Mutated under
+        # the lock; read lock-free (set membership is atomic under the
+        # GIL and a momentarily stale verdict is indistinguishable from
+        # the cut landing a frame earlier or later).
+        self._severed = set()
         self.reset_stats()
 
     def reset_stats(self):
@@ -125,6 +147,10 @@ class FaultPlan:
         self.corrupt_unparseable = 0
         self.injected_delays = 0
         self.injected_reorders = 0
+        self.partition_drops = 0
+        # "src->dst" -> {fault kind -> count}; sparse, only links where
+        # a fault actually fired.
+        self._by_link = {}
 
     def stats(self):
         """Fault counters as a dict (stable keys for benchmarks)."""
@@ -136,7 +162,89 @@ class FaultPlan:
             "corrupt_unparseable": self.corrupt_unparseable,
             "injected_delays": self.injected_delays,
             "injected_reorders": self.injected_reorders,
+            "partition_drops": self.partition_drops,
+            "by_link": {link: dict(kinds)
+                        for link, kinds in sorted(self._by_link.items())},
         }
+
+    def _link_count(self, src, dst, kind):
+        """Count one fault against its link (caller holds the lock)."""
+        link = "%s->%s" % ("*" if src is None else src,
+                           "*" if dst is None else dst)
+        kinds = self._by_link.get(link)
+        if kinds is None:
+            kinds = self._by_link[link] = {}
+        kinds[kind] = kinds.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+
+    @property
+    def has_partitions(self):
+        """True when any link is currently severed (lock-free read)."""
+        return bool(self._severed)
+
+    def link_severed(self, src, dst):
+        """True when ``src -> dst`` cannot transmit (lock-free read)."""
+        severed = self._severed
+        return ((src, dst) in severed or (src, None) in severed
+                or (None, dst) in severed)
+
+    def sever(self, src=None, dst=None):
+        """Cut the directed link ``src -> dst``; ``None`` is a wildcard
+        on that side (at least one side must be given)."""
+        if src is None and dst is None:
+            raise ValueError("sever() needs a src and/or a dst")
+        with self._lock:
+            self._severed.add((src, dst))
+
+    def heal(self, src=None, dst=None):
+        """Undo one :meth:`sever`; with no arguments, heal every cut."""
+        with self._lock:
+            if src is None and dst is None:
+                self._severed.clear()
+            else:
+                self._severed.discard((src, dst))
+
+    def partition(self, group_a, group_b, symmetric=True):
+        """Sever every link from ``group_a`` to ``group_b`` (and back,
+        unless ``symmetric=False`` — the asymmetric partition where one
+        side's frames still arrive but the other's vanish)."""
+        with self._lock:
+            for a in group_a:
+                for b in group_b:
+                    self._severed.add((a, b))
+                    if symmetric:
+                        self._severed.add((b, a))
+
+    def heal_partition(self, group_a, group_b):
+        """Undo :meth:`partition` (either direction) for the two groups."""
+        with self._lock:
+            for a in group_a:
+                for b in group_b:
+                    self._severed.discard((a, b))
+                    self._severed.discard((b, a))
+
+    def isolate(self, machine):
+        """Cut one machine off completely: all egress and all ingress."""
+        with self._lock:
+            self._severed.add((machine, None))
+            self._severed.add((None, machine))
+
+    def rejoin(self, machine):
+        """Undo :meth:`isolate` plus any pairwise cuts touching the
+        machine."""
+        with self._lock:
+            self._severed = {(s, d) for s, d in self._severed
+                             if s != machine and d != machine}
+
+    def note_partition_drop(self, src, dst):
+        """Count one frame lost to a severed link (for delivery-time
+        enforcement points that discover the cut outside the plan)."""
+        with self._lock:
+            self.partition_drops += 1
+            self._link_count(src, dst, "partition")
 
     def _spec(self, src, dst):
         links = self.links
@@ -165,7 +273,15 @@ class FaultPlan:
         """
         with self._lock:
             self.frames_seen += 1
-            spec = self._spec(frame.src, frame.dst_machine)
+            src, dst = frame.src, frame.dst_machine
+            if self._severed and self.link_severed(src, dst):
+                # A cut link transmits nothing: no fault rolls, and held
+                # frames stay held (they release behind a frame that
+                # actually reaches a live link).
+                self.partition_drops += 1
+                self._link_count(src, dst, "partition")
+                return []
+            spec = self._spec(src, dst)
             if spec.silent and not self._held:
                 return [(frame, 0.0)]
             out = self._decide(frame, spec, des)
@@ -182,11 +298,14 @@ class FaultPlan:
 
     def _decide(self, frame, spec, des):
         rng = self._rng
+        src, dst = frame.src, frame.dst_machine
         if spec.drop and rng.random() < spec.drop:
             self.injected_drops += 1
+            self._link_count(src, dst, "drops")
             return []
         if spec.corrupt and rng.random() < spec.corrupt:
             self.injected_corruptions += 1
+            self._link_count(src, dst, "corruptions")
             corrupted = self._corrupt_message(frame.message)
             if corrupted is None:
                 self.corrupt_unparseable += 1
@@ -195,6 +314,7 @@ class FaultPlan:
         extra = 0.0
         if spec.delay and rng.random() < spec.delay:
             self.injected_delays += 1
+            self._link_count(src, dst, "delays")
             if des:
                 extra = self.delay_ms / 1000.0 * (0.5 + rng.random())
             else:
@@ -203,12 +323,14 @@ class FaultPlan:
         copies = [(frame, extra)]
         if spec.duplicate and rng.random() < spec.duplicate:
             self.injected_duplicates += 1
+            self._link_count(src, dst, "duplicates")
             if des:
                 copies.append((frame, self.delay_ms / 1000.0 * rng.random()))
             else:
                 copies.append((frame, 0.0))
         if spec.reorder and rng.random() < spec.reorder:
             self.injected_reorders += 1
+            self._link_count(src, dst, "reorders")
             self._held.extend(copies)
             return []
         return copies
@@ -220,15 +342,25 @@ class FaultPlan:
         be re-dispatched down a unicast path later."""
         with self._lock:
             self.frames_seen += 1
-            spec = self._spec(frame.src, None)
+            src = frame.src
+            if self._severed and (src, None) in self._severed:
+                # Only a full egress cut silences a broadcast at the
+                # transmitter; pairwise cuts bind per station at
+                # delivery time.
+                self.partition_drops += 1
+                self._link_count(src, None, "partition")
+                return []
+            spec = self._spec(src, None)
             if spec.silent:
                 return [(frame, 0.0)]
             rng = self._rng
             if spec.drop and rng.random() < spec.drop:
                 self.injected_drops += 1
+                self._link_count(src, None, "drops")
                 return []
             if spec.corrupt and rng.random() < spec.corrupt:
                 self.injected_corruptions += 1
+                self._link_count(src, None, "corruptions")
                 corrupted = self._corrupt_message(frame.message)
                 if corrupted is None:
                     self.corrupt_unparseable += 1
@@ -237,10 +369,12 @@ class FaultPlan:
             extra = 0.0
             if des and spec.delay and rng.random() < spec.delay:
                 self.injected_delays += 1
+                self._link_count(src, None, "delays")
                 extra = self.delay_ms / 1000.0 * (0.5 + rng.random())
             out = [(frame, extra)]
             if spec.duplicate and rng.random() < spec.duplicate:
                 self.injected_duplicates += 1
+                self._link_count(src, None, "duplicates")
                 dup_extra = extra
                 if des:
                     dup_extra += self.delay_ms / 1000.0 * rng.random()
@@ -294,36 +428,45 @@ class FaultPlan:
         has no timers to be late with."""
         with self._lock:
             self.frames_seen += 1
+            if self._severed and self.link_severed(src, dst):
+                self.partition_drops += 1
+                self._link_count(src, dst, "partition")
+                return []
             spec = self._spec(src, dst)
             held = None
             if self._held:
                 held = [payload for payload, _ in self._held]
                 self._held = []
-            out = self._decide_datagram(raw, spec)
+            out = self._decide_datagram(raw, spec, src, dst)
             if held:
                 out.extend(held)
             return out
 
-    def _decide_datagram(self, raw, spec):
+    def _decide_datagram(self, raw, spec, src, dst):
         rng = self._rng
         if spec.drop and rng.random() < spec.drop:
             self.injected_drops += 1
+            self._link_count(src, dst, "drops")
             return []
         if spec.corrupt and rng.random() < spec.corrupt:
             self.injected_corruptions += 1
+            self._link_count(src, dst, "corruptions")
             flipped = bytearray(raw)
             self._flip(flipped)
             raw = bytes(flipped)
         out = [raw]
         if spec.duplicate and rng.random() < spec.duplicate:
             self.injected_duplicates += 1
+            self._link_count(src, dst, "duplicates")
             out.append(raw)
         if spec.delay and rng.random() < spec.delay:
             self.injected_delays += 1
+            self._link_count(src, dst, "delays")
             self._held.extend((payload, 0.0) for payload in out)
             return []
         if spec.reorder and rng.random() < spec.reorder:
             self.injected_reorders += 1
+            self._link_count(src, dst, "reorders")
             self._held.extend((payload, 0.0) for payload in out)
             return []
         return out

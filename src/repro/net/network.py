@@ -294,6 +294,15 @@ class SimNetwork:
         loop = self._loop
         dest = frame.message.dest
         if frame.dst_machine is not None:
+            faults = self._faults
+            if (faults is not None and faults.has_partitions
+                    and faults.link_severed(frame.src, frame.dst_machine)):
+                # A cut that lands while a drain is in progress must
+                # also stop express-lane deliveries; queued frames are
+                # culled by the pump itself.
+                faults.note_partition_drop(frame.src, frame.dst_machine)
+                self.frames_dropped += 1
+                return True  # admitted at send time, lost on the cut link
             nic = self._nics.get(frame.dst_machine)
             if nic is None:
                 self.frames_dropped += 1
@@ -395,6 +404,13 @@ class SimNetwork:
         path, round-robin arbiter for replicated services)."""
         dst = frame.dst_machine
         if dst is not None:
+            faults = self._faults
+            if (faults is not None and faults.has_partitions
+                    and faults.link_severed(frame.src, dst)):
+                # The frame was in flight when the cut landed: lost at
+                # its arrival instant, like a wire yanked mid-transit.
+                faults.note_partition_drop(frame.src, dst)
+                return False
             nic = self._nics.get(dst)
             return nic is not None and nic.accept(frame)
         return self._route(frame)
@@ -407,8 +423,17 @@ class SimNetwork:
             stations = self._sorted_stations = sorted(self._nics.items())
         count = 0
         src = frame.src
+        faults = self._faults
+        partitioned = faults is not None and faults.has_partitions
         for addr, nic in stations:
-            if addr != src and nic.accept_broadcast(frame):
+            if addr == src:
+                continue
+            if partitioned and faults.link_severed(src, addr):
+                # Pairwise cuts bind per receiving station: the segment
+                # carries the broadcast, the cut link does not.
+                faults.note_partition_drop(src, addr)
+                continue
+            if nic.accept_broadcast(frame):
                 count += 1
         self.frames_delivered += count
         return count
@@ -542,6 +567,14 @@ class SimNetwork:
         takers = self._listeners.get(dest)
         if not takers:
             return False
+        faults = self._faults
+        if faults is not None and faults.has_partitions:
+            src = frame.src
+            reachable = [a for a in takers if not faults.link_severed(src, a)]
+            if not reachable:
+                faults.note_partition_drop(src, None)
+                return False
+            takers = reachable
         if len(takers) == 1:
             return self._nics[takers[0]].accept(frame)
         start = self._round_robin.get(dest, 0)
@@ -580,9 +613,16 @@ class SimNetwork:
             stations = self._sorted_stations = sorted(self._nics.items())
         count = 0
         src = src_nic.address
+        faults = self._faults
+        partitioned = faults is not None and faults.has_partitions
         for out, _ in copies:
             for addr, nic in stations:
-                if addr != src and nic.accept_broadcast(out):
+                if addr == src:
+                    continue
+                if partitioned and faults.link_severed(src, addr):
+                    faults.note_partition_drop(src, addr)
+                    continue
+                if nic.accept_broadcast(out):
                     count += 1
         self.frames_delivered += count
         return count

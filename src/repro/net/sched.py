@@ -49,6 +49,11 @@ from heapq import heappop, heappush
 
 from repro.net.nic import _BatchSink
 
+# Heap-event kind marker distinguishing a timer callback from a frame's
+# broadcast flag (see VirtualTimeLoop.call_at).  Never compared by the
+# heap: the unique schedule seq breaks every tie first.
+_TIMER = object()
+
 
 class EventLoop:
     """Deferred frame delivery for one :class:`~repro.net.network.SimNetwork`.
@@ -180,10 +185,15 @@ class EventLoop:
         nics = network._nics
         listeners = network._listeners
         round_robin = network._round_robin
+        faults = network._faults
         try:
             while ready and (budget is None or dispatched < budget):
                 dest = ready.popleft()
                 q = queues[dest]
+                # Severed-link state is re-read every turn: a handler
+                # may cut or heal a link mid-drain, and queued frames
+                # must honor the topology at *dispatch* time.
+                partitioned = faults is not None and faults.has_partitions
                 # Run coalescing: when this is the only pending port and
                 # its lone listener is taking port-addressed frames, the
                 # head run is drained as one delivery — the software
@@ -191,7 +201,10 @@ class EventLoop:
                 # driver per interrupt.  With other ports pending, or a
                 # replicated service on the port, strict one-frame-per-
                 # turn rotation (and the round-robin arbiter) applies.
-                if not ready and q[0].dst_machine is None:
+                # Under an active partition the run's frames may have
+                # different (severed or live) source links, so the
+                # per-frame arm applies.
+                if not ready and not partitioned and q[0].dst_machine is None:
                     wire = q[0].message.dest
                     takers = listeners.get(wire)
                     if takers is not None and len(takers) == 1:
@@ -255,11 +268,21 @@ class EventLoop:
                 # index dicts held in locals across the whole drain.
                 dst = frame.dst_machine
                 if dst is not None:
-                    nic = nics.get(dst)
-                    ok = nic is not None and nic.accept(frame)
+                    if partitioned and faults.link_severed(frame.src, dst):
+                        faults.note_partition_drop(frame.src, dst)
+                        ok = False
+                    else:
+                        nic = nics.get(dst)
+                        ok = nic is not None and nic.accept(frame)
                 else:
                     wire = frame.message.dest
                     takers = listeners.get(wire)
+                    if takers and partitioned:
+                        src = frame.src
+                        takers = [a for a in takers
+                                  if not faults.link_severed(src, a)]
+                        if not takers:
+                            faults.note_partition_drop(src, None)
                     if not takers:
                         ok = False
                     elif len(takers) == 1:
@@ -446,6 +469,7 @@ class VirtualTimeLoop:
         "scheduled",
         "dispatched",
         "dropped_dead",
+        "timers_fired",
     )
 
     def __init__(self, network, clock, latency):
@@ -453,6 +477,7 @@ class VirtualTimeLoop:
         self.clock = clock
         self.latency = latency
         # Heap of (arrival instant, schedule seq, is_broadcast, frame).
+        # Timer events reuse the slots as (instant, seq, _TIMER, action).
         self._events = []
         self._seq = 0
         #: Frames given an arrival instant by schedule().
@@ -461,6 +486,8 @@ class VirtualTimeLoop:
         self.dispatched = 0
         #: Frames admitted at schedule time but undeliverable on arrival.
         self.dropped_dead = 0
+        #: Timer callbacks fired by call_at().
+        self.timers_fired = 0
 
     # ------------------------------------------------------------------
     # ingress (called by SimNetwork)
@@ -480,6 +507,21 @@ class VirtualTimeLoop:
         self.scheduled += 1
         return arrival
 
+    def call_at(self, instant, action):
+        """Schedule ``action()`` to fire when virtual time reaches
+        ``instant`` (clamped to now — time never runs backwards).
+
+        Timers share the event heap with frames, so they fire in strict
+        arrival order *wherever* the heap is being stepped — including
+        from inside a blocking client poll, which is what lets a chaos
+        timeline cut a link in the middle of someone's transaction.
+        Returns the (possibly clamped) fire instant.
+        """
+        instant = max(instant, self.clock.now)
+        self._seq += 1
+        heappush(self._events, (instant, self._seq, _TIMER, action))
+        return instant
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
@@ -495,14 +537,18 @@ class VirtualTimeLoop:
             return False
         if until is not None and events[0][0] > until:
             return False
-        arrival, _, broadcast, frame = heappop(events)
+        arrival, _, kind, payload = heappop(events)
         self.clock.advance_to(arrival)
+        if kind is _TIMER:
+            self.timers_fired += 1
+            payload()
+            return True
         self.dispatched += 1
         network = self.network
-        if broadcast:
-            network._deliver_broadcast(frame)
+        if kind:
+            network._deliver_broadcast(payload)
             return True
-        if network._deliver_frame(frame):
+        if network._deliver_frame(payload):
             network.frames_delivered += 1
         else:
             self.dropped_dead += 1
@@ -543,6 +589,7 @@ class VirtualTimeLoop:
             "scheduled": self.scheduled,
             "dispatched": self.dispatched,
             "dropped_dead": self.dropped_dead,
+            "timers_fired": self.timers_fired,
             "virtual_now": self.clock.now,
         }
 

@@ -646,7 +646,16 @@ class SocketNode:
                     pos += flen
             admitted = 0
             batch_runs = None
+            faults = self.faults
             for raw, src in expanded:
+                if (faults is not None and faults.has_partitions
+                        and faults.link_severed(src, None)):
+                    # Ingress half of a severed link: the plan only sees
+                    # this node's egress, so cuts *toward* us are
+                    # enforced here, before the control lane — a
+                    # partitioned peer cannot even answer PING.
+                    faults.note_partition_drop(src, None)
+                    continue
                 if raw[:_CTL_HEADER] == _CTL_MAGIC:
                     # Control lane: one kind byte + opaque payload, never
                     # unpacked as a message.  PING is answered by the

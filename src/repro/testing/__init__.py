@@ -1,0 +1,2 @@
+"""Test-harness subsystems: deterministic chaos scenarios and their
+machine-checked invariants (:mod:`repro.testing.chaos`)."""

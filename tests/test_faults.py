@@ -316,6 +316,7 @@ class TestStats:
             "frames_seen", "injected_drops", "injected_duplicates",
             "injected_corruptions", "corrupt_unparseable",
             "injected_delays", "injected_reorders",
+            "partition_drops", "by_link",
         }
 
     def test_network_stats_include_faults(self):
